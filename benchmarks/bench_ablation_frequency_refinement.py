@@ -1,0 +1,55 @@
+"""Ablation — greedy Algorithm 3 vs coordinate-descent refinement.
+
+The paper's Discussion section notes that the centre-out greedy frequency
+search is sub-optimal and suggests global optimization as future work.
+This ablation runs the design flow with 0 (the paper's algorithm), 1, and
+2 refinement sweeps on two benchmarks and reports the resulting yields,
+so the cost/benefit of the extension is documented next to the main
+results.  The yields typically move by at most a few relative percent —
+the greedy pass already sits close to a local optimum — which is why the
+refinement is off by default.
+"""
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.collision import YieldSimulator
+from repro.design import DesignFlow, DesignOptions
+
+from _bench_utils import active_settings, write_result
+
+ABLATION_BENCHMARKS = ("z4_268", "adr4_197")
+REFINEMENT_PASSES = (0, 1, 2)
+
+
+@pytest.mark.parametrize("benchmark_name", ABLATION_BENCHMARKS)
+def test_frequency_refinement_ablation(benchmark, benchmark_name):
+    settings = active_settings()
+    circuit = get_benchmark(benchmark_name)
+    simulator = YieldSimulator(trials=settings.yield_trials, seed=7)
+
+    def run_ablation():
+        yields = {}
+        for passes in REFINEMENT_PASSES:
+            options = DesignOptions(
+                local_trials=settings.frequency_local_trials,
+                frequency_refinement_passes=passes,
+            )
+            architecture = DesignFlow(circuit, options).design(0)
+            yields[passes] = simulator.estimate(architecture).yield_rate
+        return yields
+
+    yields = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+
+    lines = [f"Ablation -- frequency allocation refinement ({benchmark_name}, 0 four-qubit buses)",
+             ""]
+    lines.append(f"{'refinement passes':>18} {'yield':>12}")
+    for passes, value in sorted(yields.items()):
+        suffix = "  (paper's Algorithm 3)" if passes == 0 else ""
+        lines.append(f"{passes:>18} {value:>12.2e}{suffix}")
+    write_result(f"table_ablation_refinement_{benchmark_name}", "\n".join(lines))
+
+    # The refined allocations must never be catastrophically worse than the
+    # greedy baseline (they re-optimize the same objective).
+    assert all(value > 0 for value in yields.values())
+    assert max(yields.values()) <= yields[0] * 5 + 1.0

@@ -1,0 +1,51 @@
+"""Figure 9 — IBM's general-purpose baseline designs and their yield.
+
+Regenerates the four baseline architectures (16Q 2x8 and 20Q 4x5, with
+2-qubit buses only or the maximum number of 4-qubit buses, all using the
+5-frequency scheme) and reports their hardware resources and Monte Carlo
+yield at the paper's sigma = 30 MHz.  The benchmark timing measures the
+yield simulator on the largest baseline.
+"""
+
+from repro.collision import YieldSimulator
+from repro.hardware import ibm_baselines
+from repro.visualization import render_architecture
+
+from _bench_utils import active_settings, write_result
+
+
+def test_fig9_ibm_baselines(benchmark):
+    settings = active_settings()
+    simulator = YieldSimulator(trials=settings.yield_trials, seed=7)
+    baselines = ibm_baselines()
+
+    # Benchmark the yield simulation of the densest baseline (design (4)).
+    benchmark(simulator.estimate, baselines[4])
+
+    lines = ["Figure 9 -- IBM baseline designs (5-frequency scheme, sigma = 30 MHz)", ""]
+    lines.append(f"{'label':>5} {'architecture':<22} {'qubits':>6} {'connections':>11} "
+                 f"{'4Q buses':>8} {'yield':>12}")
+    for label, architecture in sorted(baselines.items()):
+        estimate = simulator.estimate(architecture)
+        lines.append(
+            f"({label})  {architecture.name:<22} {architecture.num_qubits:>6} "
+            f"{architecture.num_connections():>11} {len(architecture.four_qubit_buses()):>8} "
+            f"{estimate.yield_rate:>12.2e}"
+        )
+    lines.append("")
+    for label, architecture in sorted(baselines.items()):
+        lines.append(render_architecture(architecture))
+        lines.append("")
+
+    # Figure 9 structural facts.
+    assert baselines[1].num_connections() == 22
+    assert len(baselines[2].four_qubit_buses()) == 4
+    assert baselines[3].num_connections() == 31
+    assert len(baselines[4].four_qubit_buses()) == 6
+
+    # More connections always cost yield on the same chip size.
+    sim = YieldSimulator(trials=settings.yield_trials, seed=7)
+    assert sim.estimate(baselines[1]).yield_rate >= sim.estimate(baselines[2]).yield_rate
+    assert sim.estimate(baselines[3]).yield_rate >= sim.estimate(baselines[4]).yield_rate
+
+    write_result("fig9_ibm_baselines", "\n".join(lines))

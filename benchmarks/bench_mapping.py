@@ -1,0 +1,62 @@
+"""Mapping substrate benchmark — post-mapping gate counts per architecture.
+
+Not a figure of its own in the paper, but the performance axis of every
+figure: this bench measures the SABRE-style router on representative
+benchmarks against the IBM baselines and the generated designs, reporting
+SWAP counts and total gate counts (the Section 5.1 metric) and the
+router's wall-clock cost.
+"""
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.design import DesignFlow, DesignOptions
+from repro.hardware import ibm_16q_2x8, ibm_20q_4x5
+from repro.mapping import route_circuit
+from repro.profiling import profile_circuit
+
+from _bench_utils import write_result
+
+MAPPING_BENCHMARKS = ("z4_268", "adr4_197", "qft_16")
+
+
+@pytest.mark.parametrize("benchmark_name", MAPPING_BENCHMARKS)
+def test_post_mapping_gate_counts(benchmark, benchmark_name):
+    circuit = get_benchmark(benchmark_name)
+    profile = profile_circuit(circuit)
+    targets = {
+        "ibm_16q_2x8_2qbus": ibm_16q_2x8(False),
+        "ibm_16q_2x8_4qbus": ibm_16q_2x8(True),
+        "ibm_20q_4x5_4qbus": ibm_20q_4x5(True),
+        "eff_0_buses": DesignFlow(circuit, DesignOptions(local_trials=300)).design(0),
+    }
+    # Skip targets that cannot host the benchmark.
+    targets = {
+        name: arch for name, arch in targets.items() if arch.num_qubits >= circuit.num_qubits
+    }
+
+    # Time a single routing run on the 16-qubit baseline (the common case).
+    benchmark.pedantic(
+        route_circuit,
+        args=(circuit, targets["ibm_16q_2x8_2qbus"]),
+        kwargs={"profile": profile, "keep_routed_circuit": False},
+        rounds=1,
+        iterations=1,
+    )
+
+    lines = [f"Post-mapping gate counts ({benchmark_name}, "
+             f"{len(circuit)} original gates, {circuit.num_two_qubit_gates} two-qubit)", ""]
+    lines.append(f"{'architecture':<22} {'connections':>11} {'swaps':>7} {'total gates':>12} "
+                 f"{'overhead':>9}")
+    counts = {}
+    for name, arch in targets.items():
+        result = route_circuit(circuit, arch, profile, keep_routed_circuit=False)
+        counts[name] = result.total_gates
+        lines.append(f"{name:<22} {arch.num_connections():>11} {result.num_swaps:>7} "
+                     f"{result.total_gates:>12} {result.overhead_ratio:>9.1%}")
+    write_result(f"table_mapping_{benchmark_name}", "\n".join(lines))
+
+    # Denser baseline coupling never costs performance by more than a whisker.
+    assert counts["ibm_16q_2x8_4qbus"] <= counts["ibm_16q_2x8_2qbus"] * 1.05
+    # Every total includes at least the original gates.
+    assert all(total >= len(circuit) for total in counts.values())

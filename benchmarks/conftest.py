@@ -1,0 +1,37 @@
+"""Shared fixtures of the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  The Monte
+Carlo and design-flow settings default to a reduced-but-representative
+configuration so that ``pytest benchmarks/ --benchmark-only`` finishes in
+a few minutes on a laptop; set the environment variable
+``REPRO_BENCH_FULL=1`` to run with the paper's full settings (10,000-trial
+yield simulation, all twelve benchmarks, five random-bus seeds).
+
+Each bench also writes its regenerated table to
+``benchmarks/results/<name>.txt`` so the numbers can be inspected and
+copied into EXPERIMENTS.md after a run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from _bench_utils import RESULTS_DIR, active_benchmarks, active_settings
+
+
+@pytest.fixture(scope="session")
+def evaluation_settings():
+    return active_settings()
+
+
+@pytest.fixture(scope="session")
+def figure10_benchmarks() -> tuple:
+    return active_benchmarks()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

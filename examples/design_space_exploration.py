@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Explore the yield/performance trade-off controlled by the 4-qubit bus count.
+
+Section 5.3 of the paper highlights *controllability*: by varying only
+the number of 4-qubit buses, the design flow produces a series of
+architectures that trade roughly 10x-50x of yield for 10%-33% of
+performance.  This example generates the full series for one benchmark,
+evaluates both axes for every member, and prints the trade-off table
+together with the ablation variants (random bus selection and the
+5-frequency scheme).
+
+Run:  python examples/design_space_exploration.py [benchmark]
+"""
+
+import sys
+
+from repro.benchmarks import get_benchmark
+from repro.collision import YieldSimulator
+from repro.design import DesignFlow, DesignOptions
+from repro.design.flow import BusStrategy, FrequencyStrategy
+from repro.mapping import route_circuit
+from repro.profiling import profile_circuit
+
+
+def evaluate_series(label: str, architectures, circuit, profile, simulator) -> None:
+    print(f"--- {label} ---")
+    print(f"{'architecture':<42} {'conn':>4} {'4Qbus':>5} {'yield':>10} {'gates':>7}")
+    for architecture in architectures:
+        yield_rate = simulator.estimate(architecture).yield_rate
+        gates = route_circuit(circuit, architecture, profile).total_gates
+        print(f"{architecture.name:<42} {architecture.num_connections():>4} "
+              f"{len(architecture.four_qubit_buses()):>5} {yield_rate:>10.2e} {gates:>7}")
+    print()
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "z4_268"
+    circuit = get_benchmark(benchmark)
+    profile = profile_circuit(circuit)
+    simulator = YieldSimulator(trials=10_000, seed=7)
+
+    print(f"benchmark: {circuit.name} ({circuit.num_qubits} qubits, "
+          f"{circuit.num_two_qubit_gates} two-qubit gates)\n")
+
+    full_flow = DesignFlow(circuit)
+    evaluate_series("eff-full: filtered-weight buses + optimized frequencies",
+                    full_flow.design_series(), circuit, profile, simulator)
+
+    random_flow = DesignFlow(
+        circuit, DesignOptions(bus_strategy=BusStrategy.RANDOM, random_bus_seed=3)
+    )
+    evaluate_series("eff-rd-bus: random bus selection (seed 3)",
+                    random_flow.design_series(), circuit, profile, simulator)
+
+    five_freq_flow = DesignFlow(
+        circuit, DesignOptions(frequency_strategy=FrequencyStrategy.FIVE_FREQUENCY)
+    )
+    evaluate_series("eff-5-freq: IBM 5-frequency scheme",
+                    five_freq_flow.design_series(), circuit, profile, simulator)
+
+
+if __name__ == "__main__":
+    main()

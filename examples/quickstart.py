@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Quickstart: profile a program, design an architecture, measure both axes.
+
+This walks the full pipeline of the paper on a single benchmark:
+
+1. build the 8-qubit UCCSD VQE ansatz;
+2. profile it (coupling strength matrix + coupling degree list);
+3. run the design flow to generate an application-specific architecture;
+4. estimate the architecture's fabrication yield (Monte Carlo, IBM's
+   frequency-collision model);
+5. map the program onto the architecture and report the post-mapping gate
+   count, comparing against IBM's general-purpose 16-qubit baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.benchmarks import get_benchmark
+from repro.collision import YieldSimulator
+from repro.design import DesignFlow
+from repro.hardware import ibm_16q_2x8
+from repro.mapping import route_circuit
+from repro.profiling import classify_pattern, profile_circuit
+from repro.visualization import render_architecture, render_coupling_matrix
+
+
+def main() -> None:
+    # 1. The program we design hardware for.
+    circuit = get_benchmark("UCCSD_ansatz_8")
+    print(f"benchmark: {circuit.name} -- {circuit.num_qubits} qubits, "
+          f"{len(circuit)} gates ({circuit.num_two_qubit_gates} two-qubit)")
+
+    # 2. Profile it (paper Section 3).
+    profile = profile_circuit(circuit)
+    print(f"coupling pattern: {classify_pattern(profile).value}")
+    print("coupling strength matrix:")
+    print(render_coupling_matrix(profile.strength_matrix))
+    print("coupling degree list:", profile.degree_list)
+
+    # 3. Design an application-specific architecture (paper Section 4).
+    flow = DesignFlow(circuit)
+    architecture = flow.design(max_four_qubit_buses=1)
+    print()
+    print(render_architecture(architecture))
+
+    # 4. Yield of the generated design vs the IBM baseline.
+    simulator = YieldSimulator(trials=10_000, seed=7)
+    baseline = ibm_16q_2x8(use_four_qubit_buses=False)
+    ours_yield = simulator.estimate(architecture).yield_rate
+    baseline_yield = simulator.estimate(baseline).yield_rate
+    print(f"\nyield: ours = {ours_yield:.4f}, IBM 16Q baseline = {baseline_yield:.4f} "
+          f"({ours_yield / max(baseline_yield, 1e-6):.1f}x)")
+
+    # 5. Performance (total post-mapping gate count).
+    ours_gates = route_circuit(circuit, architecture, profile).total_gates
+    baseline_gates = route_circuit(circuit, baseline, profile).total_gates
+    print(f"post-mapping gates: ours = {ours_gates}, IBM 16Q baseline = {baseline_gates} "
+          f"({(baseline_gates - ours_gates) / baseline_gates:+.1%} change)")
+
+
+if __name__ == "__main__":
+    main()

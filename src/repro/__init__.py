@@ -1,0 +1,47 @@
+"""repro — application-specific superconducting quantum processor architecture design.
+
+This package reproduces "Towards Efficient Superconducting Quantum
+Processor Architecture Design" (Li, Ding, Xie — ASPLOS 2020).  The public
+API mirrors the paper's design flow:
+
+* :mod:`repro.circuit` — quantum circuit IR (the programs being designed for).
+* :mod:`repro.benchmarks` — the twelve evaluation programs.
+* :mod:`repro.profiling` — coupling strength matrix / coupling degree list.
+* :mod:`repro.hardware` — lattices, buses, architectures, IBM baselines.
+* :mod:`repro.collision` — frequency-collision model and Monte Carlo yield.
+* :mod:`repro.design` — layout design, bus selection, frequency allocation.
+* :mod:`repro.mapping` — SABRE-style qubit mapping (performance metric).
+* :mod:`repro.evaluation` — the paper's five experiment configurations.
+
+Quickstart::
+
+    from repro import design_architecture, profile_circuit
+    from repro.benchmarks import get_benchmark
+    from repro.collision import YieldSimulator
+    from repro.mapping import route_circuit
+
+    circuit = get_benchmark("uccsd_ansatz_8")
+    profile = profile_circuit(circuit)
+    architecture = design_architecture(circuit, max_four_qubit_buses=2)
+    yield_rate = YieldSimulator(trials=2000, seed=7).estimate(architecture).yield_rate
+    routed = route_circuit(circuit, architecture)
+    print(yield_rate, routed.total_gates)
+"""
+
+from repro.circuit import QuantumCircuit
+from repro.profiling import CircuitProfile, profile_circuit
+from repro.design import DesignFlow, design_architecture, design_architecture_series
+from repro.hardware import Architecture
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "QuantumCircuit",
+    "CircuitProfile",
+    "profile_circuit",
+    "DesignFlow",
+    "design_architecture",
+    "design_architecture_series",
+    "Architecture",
+    "__version__",
+]

@@ -1,0 +1,39 @@
+"""The twelve evaluation benchmark programs (paper Section 5.1).
+
+The paper draws its benchmarks from IBM QISKit, RevLib, and ScaffCC.  The
+algorithmic benchmarks (QFT, the Ising-model Trotter step, the UCCSD VQE
+ansatz) are fully specified algorithms and are generated exactly.  The
+reversible-arithmetic benchmarks originate from RevLib circuit files that
+are not redistributable here, so they are substituted by deterministic
+synthetic reversible-logic circuits with the published qubit counts and
+qualitatively matching coupling patterns — see DESIGN.md for the
+substitution rationale.
+
+Use :func:`get_benchmark` / :func:`benchmark_suite` to obtain circuits by
+the names used in the paper's figures.
+"""
+
+from repro.benchmarks.qft import qft_circuit
+from repro.benchmarks.ising import ising_model_circuit
+from repro.benchmarks.uccsd import uccsd_ansatz_circuit
+from repro.benchmarks.reversible import ReversibleSpec, reversible_circuit
+from repro.benchmarks.library import (
+    BENCHMARK_NAMES,
+    BenchmarkInfo,
+    benchmark_info,
+    benchmark_suite,
+    get_benchmark,
+)
+
+__all__ = [
+    "qft_circuit",
+    "ising_model_circuit",
+    "uccsd_ansatz_circuit",
+    "ReversibleSpec",
+    "reversible_circuit",
+    "BENCHMARK_NAMES",
+    "BenchmarkInfo",
+    "benchmark_info",
+    "benchmark_suite",
+    "get_benchmark",
+]

@@ -1,0 +1,47 @@
+"""Quantum Fourier Transform benchmark (``qft_16`` in the paper).
+
+The textbook QFT applies a Hadamard to each qubit followed by controlled
+phase rotations between every qubit pair.  After decomposing each
+controlled phase into two CNOTs (plus single-qubit rotations), every
+logical qubit pair carries exactly two two-qubit gates — the perfectly
+uniform coupling pattern that makes the paper's weight-based bus
+selection degenerate to random selection (Section 5.4.2).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.decompose import decompose_circuit
+from repro.circuit.gates import Gate, h, measure
+
+
+def qft_circuit(
+    num_qubits: int = 16,
+    include_measurements: bool = True,
+    decomposed: bool = True,
+) -> QuantumCircuit:
+    """Build an ``num_qubits``-qubit QFT circuit.
+
+    Args:
+        num_qubits: Register size (the paper uses 16).
+        include_measurements: Append a final measurement on every qubit.
+        decomposed: Decompose controlled-phase gates into the CNOT +
+            single-qubit basis (the form consumed by the design flow).
+    """
+    if num_qubits < 1:
+        raise ValueError("QFT needs at least one qubit")
+    circuit = QuantumCircuit(num_qubits, name=f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.append(h(target))
+        for control in range(target + 1, num_qubits):
+            angle = math.pi / (2 ** (control - target))
+            circuit.append(Gate("cp", (control, target), (angle,)))
+    if include_measurements:
+        for qubit in range(num_qubits):
+            circuit.append(measure(qubit))
+    if decomposed:
+        circuit = decompose_circuit(circuit)
+        circuit.name = f"qft_{num_qubits}"
+    return circuit

@@ -1,0 +1,164 @@
+"""Synthetic reversible-arithmetic benchmark circuits.
+
+The paper's arithmetic benchmarks (adr4_197, rd84_142, misex1_241,
+square_root_7, radd_250, cm152a_212, dc1_220, z4_268, sym6_145) are
+RevLib functions synthesized into multi-controlled-Toffoli (MCT)
+networks and then decomposed into the CNOT + single-qubit basis.  The
+original RevLib circuit files are not redistributable inside this
+repository, so this module *synthesizes* circuits with the same
+character: an ESOP-style network of MCT gates whose controls are drawn
+from a set of input qubits and whose targets are output/work qubits,
+with per-output control affinities that produce the clustered, highly
+non-uniform coupling patterns shown in the paper's Figure 5.
+
+Every circuit is fully deterministic: the generator is seeded from the
+benchmark name, so repeated calls (and repeated test runs) produce the
+same circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.decompose import decompose_mcx
+from repro.circuit.gates import Gate, cx, h, measure, x
+from repro.utils.rng import deterministic_rng
+
+
+@dataclass(frozen=True)
+class ReversibleSpec:
+    """Parameters of a synthetic reversible-logic benchmark.
+
+    Attributes:
+        name: Benchmark name (used for seeding and reporting).
+        num_qubits: Total register size.
+        num_inputs: Number of primary-input qubits; the remaining qubits act
+            as outputs / work qubits and receive the MCT targets.
+        num_terms: Number of MCT product terms in the ESOP-style network.
+        max_controls: Largest number of controls per MCT gate (2 or 3).
+        cluster_size: Number of input qubits each output draws its controls
+            from (smaller values produce more clustered coupling patterns).
+        use_ancilla: Whether 3-control MCTs may borrow a free qubit as a
+            V-chain ancilla (reduces gate count, spreads coupling onto the
+            ancilla qubit).
+    """
+
+    name: str
+    num_qubits: int
+    num_inputs: int
+    num_terms: int
+    max_controls: int = 3
+    cluster_size: int = 4
+    use_ancilla: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_inputs >= self.num_qubits:
+            raise ValueError("a reversible benchmark needs at least one non-input qubit")
+        if self.max_controls < 1:
+            raise ValueError("MCT gates need at least one control")
+        if self.num_terms < 1:
+            raise ValueError("the network needs at least one product term")
+
+
+def reversible_circuit(spec: ReversibleSpec, include_measurements: bool = True) -> QuantumCircuit:
+    """Generate the deterministic synthetic circuit described by ``spec``."""
+    rng = deterministic_rng("revlib", spec.name, spec.num_qubits, spec.num_terms)
+    circuit = QuantumCircuit(spec.num_qubits, name=spec.name)
+
+    inputs = list(range(spec.num_inputs))
+    outputs = list(range(spec.num_inputs, spec.num_qubits))
+
+    # A few input qubits start inverted, as real synthesized circuits begin
+    # with NOT gates establishing polarities.
+    for qubit in inputs:
+        if rng.random() < 0.3:
+            circuit.append(x(qubit))
+
+    affinities = _control_affinities(spec, inputs, outputs, rng)
+
+    for _term in range(spec.num_terms):
+        target = outputs[int(rng.integers(len(outputs)))]
+        controls = _pick_controls(spec, target, affinities[target], outputs, rng)
+        if len(controls) == 1:
+            circuit.append(cx(controls[0], target))
+        else:
+            ancillae = _pick_ancillae(spec, controls, target, rng)
+            circuit.extend(decompose_mcx(controls, target, ancillae))
+        # Occasionally a bare CNOT or NOT follows a term, mirroring the mixed
+        # gate content of synthesized reversible circuits.
+        roll = rng.random()
+        if roll < 0.15:
+            circuit.append(x(target))
+        elif roll < 0.30 and len(outputs) > 1:
+            other = outputs[int(rng.integers(len(outputs)))]
+            if other != target:
+                circuit.append(cx(target, other))
+
+    if include_measurements:
+        for qubit in outputs:
+            circuit.append(measure(qubit))
+    return circuit
+
+
+def _control_affinities(
+    spec: ReversibleSpec,
+    inputs: Sequence[int],
+    outputs: Sequence[int],
+    rng: np.random.Generator,
+) -> dict:
+    """For each output qubit, the subset of input qubits its terms prefer.
+
+    Real arithmetic functions compute each output bit from a particular
+    slice of the input word, which is what produces the block/cluster
+    structure in the coupling strength matrix.  We reproduce it by giving
+    every output a contiguous window of inputs (with wraparound) plus a
+    small chance of out-of-window controls during selection.
+    """
+    affinities = {}
+    window = max(1, min(spec.cluster_size, len(inputs)))
+    for index, output in enumerate(outputs):
+        start = int(rng.integers(len(inputs))) if len(inputs) > window else 0
+        affinity = [inputs[(start + offset) % len(inputs)] for offset in range(window)]
+        affinities[output] = affinity
+    return affinities
+
+
+def _pick_controls(
+    spec: ReversibleSpec,
+    target: int,
+    affinity: Sequence[int],
+    outputs: Sequence[int],
+    rng: np.random.Generator,
+) -> List[int]:
+    """Choose the control qubits of one MCT term."""
+    num_controls = int(rng.integers(1, spec.max_controls + 1))
+    pool = list(affinity)
+    # With small probability a control comes from another output (shared
+    # intermediate results), which couples output qubits to each other.
+    if rng.random() < 0.35 and len(outputs) > 1:
+        other_outputs = [q for q in outputs if q != target]
+        pool.append(other_outputs[int(rng.integers(len(other_outputs)))])
+    num_controls = min(num_controls, len(pool))
+    chosen = rng.choice(len(pool), size=num_controls, replace=False)
+    return sorted(pool[int(i)] for i in chosen)
+
+
+def _pick_ancillae(
+    spec: ReversibleSpec,
+    controls: Sequence[int],
+    target: int,
+    rng: np.random.Generator,
+) -> Optional[List[int]]:
+    """Choose V-chain ancillae for an MCT gate when the spec allows it."""
+    if not spec.use_ancilla or len(controls) <= 2:
+        return None
+    needed = len(controls) - 2
+    free = [q for q in range(spec.num_qubits) if q not in controls and q != target]
+    if len(free) < needed:
+        return None
+    chosen = rng.choice(len(free), size=needed, replace=False)
+    return [free[int(i)] for i in chosen]

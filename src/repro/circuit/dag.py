@@ -1,0 +1,190 @@
+"""Gate dependency DAG used by the SWAP router.
+
+The mapper (``repro.mapping``) consumes two-qubit gates in dependency
+order: a gate becomes executable only once all earlier gates acting on any
+of its qubits have been executed.  :class:`CircuitDAG` captures exactly
+that partial order, exposing a mutable *front layer* interface in the
+style of the SABRE algorithm (Li et al., ASPLOS 2019 — reference [18] of
+the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, GateKind
+
+
+@dataclass
+class DAGNode:
+    """A node in the dependency DAG.
+
+    Attributes:
+        index: Position of the gate in the original circuit.
+        gate: The gate itself.
+        predecessors: Indices of nodes that must execute before this one.
+        successors: Indices of nodes that depend on this one.
+    """
+
+    index: int
+    gate: Gate
+    predecessors: Set[int] = field(default_factory=set)
+    successors: Set[int] = field(default_factory=set)
+
+
+class CircuitDAG:
+    """Dependency DAG over the gates of a circuit.
+
+    Barriers order the gates around them but are not emitted as nodes to
+    execute; measurements and single-qubit gates are kept so that the
+    router can reproduce the *total* post-mapping gate count used as the
+    performance metric in Section 5.1.
+    """
+
+    def __init__(self, circuit: QuantumCircuit) -> None:
+        self._circuit = circuit
+        self._nodes: Dict[int, DAGNode] = {}
+        self._build()
+
+    def _build(self) -> None:
+        last_on_qubit: Dict[int, int] = {}
+        for index, gate in enumerate(self._circuit.gates):
+            if gate.kind is GateKind.BARRIER:
+                # A barrier acts as an ordering point on the qubits it spans
+                # (or all qubits when it spans none explicitly).
+                qubits = gate.qubits or tuple(range(self._circuit.num_qubits))
+                node = DAGNode(index, gate)
+                for qubit in qubits:
+                    if qubit in last_on_qubit:
+                        pred = last_on_qubit[qubit]
+                        node.predecessors.add(pred)
+                        self._nodes[pred].successors.add(index)
+                    last_on_qubit[qubit] = index
+                self._nodes[index] = node
+                continue
+            node = DAGNode(index, gate)
+            for qubit in gate.qubits:
+                if qubit in last_on_qubit:
+                    pred = last_on_qubit[qubit]
+                    node.predecessors.add(pred)
+                    self._nodes[pred].successors.add(index)
+                last_on_qubit[qubit] = index
+            self._nodes[index] = node
+        # Drop barrier nodes now that their ordering effect has been applied;
+        # rewire their predecessors to their successors.
+        for index in [i for i, n in self._nodes.items() if n.gate.kind is GateKind.BARRIER]:
+            node = self._nodes.pop(index)
+            for succ in node.successors:
+                self._nodes[succ].predecessors.discard(index)
+                self._nodes[succ].predecessors.update(node.predecessors)
+            for pred in node.predecessors:
+                self._nodes[pred].successors.discard(index)
+                self._nodes[pred].successors.update(node.successors)
+
+    # -- read-only structure -------------------------------------------------------
+
+    @property
+    def circuit(self) -> QuantumCircuit:
+        return self._circuit
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def node(self, index: int) -> DAGNode:
+        return self._nodes[index]
+
+    def nodes(self) -> List[DAGNode]:
+        """All nodes sorted by original circuit position."""
+        return [self._nodes[i] for i in sorted(self._nodes)]
+
+    def topological_order(self) -> List[DAGNode]:
+        """Kahn's algorithm; ties broken by original circuit order."""
+        in_degree = {i: len(n.predecessors) for i, n in self._nodes.items()}
+        ready = sorted(i for i, d in in_degree.items() if d == 0)
+        order: List[DAGNode] = []
+        while ready:
+            index = ready.pop(0)
+            order.append(self._nodes[index])
+            for succ in sorted(self._nodes[index].successors):
+                in_degree[succ] -= 1
+                if in_degree[succ] == 0:
+                    # Keep `ready` sorted so the order is deterministic.
+                    ready.append(succ)
+                    ready.sort()
+        if len(order) != len(self._nodes):
+            raise RuntimeError("cycle detected in circuit DAG (should be impossible)")
+        return order
+
+    def front_layer(self) -> List[DAGNode]:
+        """Nodes with no predecessors (initially executable gates)."""
+        return [self._nodes[i] for i in sorted(self._nodes) if not self._nodes[i].predecessors]
+
+
+class ExecutionFrontier:
+    """Mutable traversal state over a :class:`CircuitDAG`.
+
+    The router repeatedly asks for the current *front layer* (gates whose
+    dependencies are satisfied), executes some of them, and advances.  This
+    class owns the bookkeeping so the routing algorithm stays readable.
+    """
+
+    def __init__(self, dag: CircuitDAG) -> None:
+        self._dag = dag
+        self._remaining_preds: Dict[int, int] = {
+            i: len(node.predecessors) for i, node in ((n.index, n) for n in dag.nodes())
+        }
+        self._front: Set[int] = {i for i, count in self._remaining_preds.items() if count == 0}
+        self._executed: Set[int] = set()
+
+    @property
+    def done(self) -> bool:
+        """True once every gate has been executed."""
+        return len(self._executed) == self._dag.num_nodes
+
+    @property
+    def num_executed(self) -> int:
+        return len(self._executed)
+
+    def front_nodes(self) -> List[DAGNode]:
+        """Currently executable gates, in original circuit order."""
+        return [self._dag.node(i) for i in sorted(self._front)]
+
+    def execute(self, index: int) -> List[DAGNode]:
+        """Mark gate ``index`` as executed and return newly unblocked nodes."""
+        if index not in self._front:
+            raise ValueError(f"gate {index} is not currently executable")
+        self._front.discard(index)
+        self._executed.add(index)
+        unblocked: List[DAGNode] = []
+        for succ in sorted(self._dag.node(index).successors):
+            self._remaining_preds[succ] -= 1
+            if self._remaining_preds[succ] == 0:
+                self._front.add(succ)
+                unblocked.append(self._dag.node(succ))
+        return unblocked
+
+    def lookahead_nodes(self, depth: int) -> List[DAGNode]:
+        """Up to ``depth`` not-yet-executable two-qubit gates beyond the front layer.
+
+        Used by the SABRE-style extended-set heuristic: SWAP decisions
+        consider gates that will become executable soon, not just the
+        immediately blocked ones.
+        """
+        result: List[DAGNode] = []
+        seen: Set[int] = set(self._front) | self._executed
+        queue: List[int] = []
+        for index in sorted(self._front):
+            queue.extend(sorted(self._dag.node(index).successors))
+        while queue and len(result) < depth:
+            index = queue.pop(0)
+            if index in seen:
+                continue
+            seen.add(index)
+            node = self._dag.node(index)
+            if node.gate.is_two_qubit:
+                result.append(node)
+            queue.extend(sorted(node.successors))
+        return result

@@ -1,0 +1,174 @@
+"""Minimal OpenQASM 2.0 import/export.
+
+The paper's benchmarks originate from QISKit / RevLib / ScaffCC, all of
+which interchange circuits as OpenQASM 2.0.  This module provides enough
+of the format to round-trip the circuits this library generates and to
+load externally produced QASM files with the standard ``qelib1.inc`` gate
+set (no custom ``gate`` definitions, no classical control).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, ONE_QUBIT_GATES, TWO_QUBIT_GATES
+
+
+class QasmError(ValueError):
+    """Raised when a QASM string cannot be parsed."""
+
+
+_QREG_RE = re.compile(r"^qreg\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(?P<size>\d+)\s*\]$")
+_CREG_RE = re.compile(r"^creg\s+(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(?P<size>\d+)\s*\]$")
+_ARG_RE = re.compile(r"^(?P<name>[A-Za-z_][A-Za-z0-9_]*)\s*\[\s*(?P<index>\d+)\s*\]$")
+_GATE_RE = re.compile(
+    r"^(?P<gate>[A-Za-z_][A-Za-z0-9_]*)\s*(\((?P<params>[^)]*)\))?\s*(?P<args>.+)$"
+)
+
+#: Safe names usable inside QASM parameter expressions.
+_EVAL_GLOBALS = {"__builtins__": {}, "pi": math.pi, "sin": math.sin, "cos": math.cos,
+                 "sqrt": math.sqrt, "exp": math.exp}
+
+#: Gate-name translations from common QASM aliases into our IR names.
+_NAME_ALIASES = {"ccx": "ccx", "cu1": "cp", "p": "u1", "phase": "u1"}
+
+
+def circuit_to_qasm(circuit: QuantumCircuit) -> str:
+    """Serialize a circuit to OpenQASM 2.0 text."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+        f"creg c[{circuit.num_qubits}];",
+    ]
+    for gate in circuit.gates:
+        lines.append(_gate_to_qasm(gate))
+    return "\n".join(lines) + "\n"
+
+
+def _gate_to_qasm(gate: Gate) -> str:
+    if gate.name == "measure":
+        (qubit,) = gate.qubits
+        return f"measure q[{qubit}] -> c[{qubit}];"
+    if gate.name == "barrier":
+        if gate.qubits:
+            args = ",".join(f"q[{q}]" for q in gate.qubits)
+            return f"barrier {args};"
+        return "barrier q;"
+    params = ""
+    if gate.params:
+        params = "(" + ",".join(f"{p!r}" for p in gate.params) + ")"
+    args = ",".join(f"q[{q}]" for q in gate.qubits)
+    return f"{gate.name}{params} {args};"
+
+
+def circuit_from_qasm(text: str, name: str = "qasm_circuit") -> QuantumCircuit:
+    """Parse an OpenQASM 2.0 string into a :class:`QuantumCircuit`.
+
+    Supports the flat single-register style emitted by this library as
+    well as multiple quantum registers (indices are concatenated in
+    declaration order).  ``ccx`` gates are decomposed on the fly so that
+    the returned circuit is already in the CNOT + single-qubit basis.
+    """
+    from repro.circuit.decompose import decompose_toffoli
+
+    statements = _split_statements(text)
+    qreg_offsets: Dict[str, int] = {}
+    total_qubits = 0
+    gates: List[Gate] = []
+
+    for statement in statements:
+        if statement.startswith(("OPENQASM", "include", "creg")) or not statement:
+            continue
+        match = _QREG_RE.match(statement)
+        if match:
+            qreg_offsets[match.group("name")] = total_qubits
+            total_qubits += int(match.group("size"))
+            continue
+        if statement.startswith("measure"):
+            gates.append(Gate("measure", (_parse_measure(statement, qreg_offsets),)))
+            continue
+        if statement.startswith("barrier"):
+            qubits = _parse_barrier(statement, qreg_offsets, total_qubits)
+            gates.append(Gate("barrier", qubits))
+            continue
+        gate_name, params, qubits = _parse_gate(statement, qreg_offsets)
+        if gate_name == "ccx":
+            gates.extend(decompose_toffoli(*qubits))
+        else:
+            gates.append(Gate(gate_name, qubits, params))
+
+    if total_qubits == 0:
+        raise QasmError("no qreg declaration found")
+    circuit = QuantumCircuit(total_qubits, name=name)
+    circuit.extend(gates)
+    return circuit
+
+
+def _split_statements(text: str) -> List[str]:
+    no_comments = re.sub(r"//[^\n]*", "", text)
+    return [stmt.strip() for stmt in no_comments.replace("\n", " ").split(";")]
+
+
+def _resolve_arg(arg: str, qreg_offsets: Dict[str, int]) -> int:
+    match = _ARG_RE.match(arg.strip())
+    if not match:
+        raise QasmError(f"cannot parse qubit argument {arg!r}")
+    name = match.group("name")
+    if name not in qreg_offsets:
+        raise QasmError(f"unknown register {name!r}")
+    return qreg_offsets[name] + int(match.group("index"))
+
+
+def _parse_measure(statement: str, qreg_offsets: Dict[str, int]) -> int:
+    body = statement[len("measure"):].strip()
+    source = body.split("->")[0].strip()
+    return _resolve_arg(source, qreg_offsets)
+
+
+def _parse_barrier(statement: str, qreg_offsets: Dict[str, int], total: int) -> Tuple[int, ...]:
+    body = statement[len("barrier"):].strip()
+    if not body:
+        return tuple(range(total))
+    qubits: List[int] = []
+    for arg in body.split(","):
+        arg = arg.strip()
+        if _ARG_RE.match(arg):
+            qubits.append(_resolve_arg(arg, qreg_offsets))
+        elif arg in qreg_offsets:
+            # A bare register name means "all qubits of that register"; we
+            # approximate with all declared qubits, which is what a global
+            # barrier means for dependency purposes.
+            return tuple(range(total))
+        else:
+            raise QasmError(f"cannot parse barrier argument {arg!r}")
+    return tuple(qubits)
+
+
+def _parse_gate(statement: str, qreg_offsets: Dict[str, int]):
+    match = _GATE_RE.match(statement)
+    if not match:
+        raise QasmError(f"cannot parse statement {statement!r}")
+    raw_name = match.group("gate").lower()
+    gate_name = _NAME_ALIASES.get(raw_name, raw_name)
+    params_text = match.group("params")
+    params: Tuple[float, ...] = ()
+    if params_text:
+        params = tuple(_eval_param(p) for p in params_text.split(","))
+    qubits = tuple(_resolve_arg(arg, qreg_offsets) for arg in match.group("args").split(","))
+    if gate_name not in ONE_QUBIT_GATES | TWO_QUBIT_GATES | {"ccx"}:
+        raise QasmError(f"unsupported gate {raw_name!r}")
+    return gate_name, params, qubits
+
+
+def _eval_param(expression: str) -> float:
+    expression = expression.strip()
+    if not re.fullmatch(r"[0-9eE+\-*/(). pisqrtcoxn]*", expression):
+        raise QasmError(f"unsafe parameter expression {expression!r}")
+    try:
+        return float(eval(expression, _EVAL_GLOBALS))  # noqa: S307 - sanitized above
+    except Exception as exc:  # pragma: no cover - defensive
+        raise QasmError(f"cannot evaluate parameter {expression!r}") from exc

@@ -1,0 +1,129 @@
+"""Command-line interface: ``repro-design``.
+
+Subcommands:
+
+* ``profile <benchmark>`` — print the coupling strength matrix and the
+  coupling degree list of a benchmark (paper Section 3).
+* ``design <benchmark>`` — run the full design flow and print the
+  generated architecture series with yield estimates.
+* ``evaluate <benchmark> [...]`` — run the Figure 10 experiment for one or
+  more benchmarks and print the data tables and ASCII Pareto plots.
+* ``list`` — list the available benchmarks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.benchmarks.library import BENCHMARK_NAMES, benchmark_info, get_benchmark
+from repro.collision.yield_simulator import YieldSimulator
+from repro.design.flow import DesignFlow, DesignOptions
+from repro.evaluation.experiment import EvaluationSettings, evaluate_benchmark
+from repro.evaluation.figures import format_figure10_table
+from repro.profiling.profiler import profile_circuit
+from repro.visualization.ascii_art import render_architecture, render_coupling_matrix
+from repro.visualization.pareto_plot import render_pareto_scatter
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``repro-design`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-design",
+        description="Application-specific superconducting quantum processor architecture design",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list available benchmarks")
+
+    profile_parser = subparsers.add_parser("profile", help="profile a benchmark circuit")
+    profile_parser.add_argument("benchmark", help="benchmark name (see 'list')")
+
+    design_parser = subparsers.add_parser("design", help="run the design flow on a benchmark")
+    design_parser.add_argument("benchmark", help="benchmark name (see 'list')")
+    design_parser.add_argument(
+        "--buses", type=int, default=None,
+        help="maximum number of 4-qubit buses (default: full series)",
+    )
+    design_parser.add_argument(
+        "--trials", type=int, default=10_000, help="Monte Carlo trials for yield estimation"
+    )
+
+    evaluate_parser = subparsers.add_parser(
+        "evaluate", help="run the Figure 10 experiment for benchmarks"
+    )
+    evaluate_parser.add_argument("benchmarks", nargs="+", help="benchmark names (see 'list')")
+    evaluate_parser.add_argument("--trials", type=int, default=10_000)
+    evaluate_parser.add_argument(
+        "--plot", action="store_true", help="also print an ASCII Pareto scatter plot"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point of the ``repro-design`` console script."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "profile":
+        return _cmd_profile(args.benchmark)
+    if args.command == "design":
+        return _cmd_design(args.benchmark, args.buses, args.trials)
+    if args.command == "evaluate":
+        return _cmd_evaluate(args.benchmarks, args.trials, args.plot)
+    return 2
+
+
+def _cmd_list() -> int:
+    for name in BENCHMARK_NAMES:
+        info = benchmark_info(name)
+        origin = "synthetic substitute" if info.synthetic else "exact construction"
+        print(f"{name:<18} {info.num_qubits:>2} qubits  {info.domain:<22} ({origin})")
+    return 0
+
+
+def _cmd_profile(benchmark: str) -> int:
+    circuit = get_benchmark(benchmark)
+    profile = profile_circuit(circuit)
+    print(f"benchmark: {circuit.name}  ({circuit.num_qubits} qubits, {len(circuit)} gates, "
+          f"{circuit.num_two_qubit_gates} two-qubit gates)")
+    print("\ncoupling strength matrix:")
+    print(render_coupling_matrix(profile.strength_matrix))
+    print("\ncoupling degree list (qubit, degree):")
+    for qubit, degree in profile.degree_list:
+        print(f"  q{qubit:<3} {degree}")
+    return 0
+
+
+def _cmd_design(benchmark: str, buses: Optional[int], trials: int) -> int:
+    circuit = get_benchmark(benchmark)
+    flow = DesignFlow(circuit, DesignOptions())
+    simulator = YieldSimulator(trials=trials, seed=7)
+    architectures = (
+        flow.design_series() if buses is None else [flow.design(max_four_qubit_buses=buses)]
+    )
+    for architecture in architectures:
+        print(render_architecture(architecture))
+        estimate = simulator.estimate(architecture)
+        print(f"  estimated yield: {estimate.yield_rate:.4f} "
+              f"(+- {estimate.standard_error():.4f}, {trials} trials)")
+        print()
+    return 0
+
+
+def _cmd_evaluate(benchmarks: List[str], trials: int, plot: bool) -> int:
+    settings = EvaluationSettings(yield_trials=trials)
+    for name in benchmarks:
+        circuit = get_benchmark(name)
+        result = evaluate_benchmark(circuit, settings=settings)
+        print(format_figure10_table(result))
+        if plot:
+            print()
+            print(render_pareto_scatter(result))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,192 @@
+"""Closed-form (analytic) yield estimation.
+
+The Monte Carlo simulator of :mod:`repro.collision.yield_simulator` is the
+paper's reference method.  This module provides a fast deterministic
+approximation that is useful inside optimization loops and for sanity
+checks: every collision condition of Figure 3 is a statement of the form
+
+    | a . f  -  c |  <  t        (approximate equality), or
+      a . f  >  c                (condition 4)
+
+where ``a . f`` is a fixed linear combination of qubit frequencies.  Under
+the fabrication model f = designed + N(0, sigma) iid, each such linear
+combination is Gaussian with known mean (from the designed frequencies)
+and standard deviation ``sigma * ||a||``, so the probability of each
+condition firing has a closed form in the normal CDF.
+
+The chip-level yield is then approximated by treating the pair events and
+triple events as independent:
+
+    yield  ~=  prod_pairs (1 - P_pair) * prod_triples (1 - P_triple)
+
+The independence assumption ignores correlations between conditions that
+share qubits, so the analytic estimate is biased slightly low for dense
+chips; the tests quantify the agreement against Monte Carlo (typically
+within a few relative percent for the architectures studied here).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.collision.conditions import (
+    ANHARMONICITY_GHZ,
+    CollisionThresholds,
+    DEFAULT_THRESHOLDS,
+)
+from repro.hardware.architecture import Architecture
+from repro.hardware.frequency import DEFAULT_SIGMA_GHZ
+
+_SQRT2 = math.sqrt(2.0)
+
+
+def _normal_cdf(x: float) -> float:
+    return 0.5 * (1.0 + math.erf(x / _SQRT2))
+
+
+def _interval_probability(mean: float, std: float, low: float, high: float) -> float:
+    """P(low < X < high) for X ~ N(mean, std)."""
+    if std == 0.0:
+        return 1.0 if low < mean < high else 0.0
+    return _normal_cdf((high - mean) / std) - _normal_cdf((low - mean) / std)
+
+
+def _union_probability(
+    mean: float, std: float, intervals: Sequence[Tuple[float, float]]
+) -> float:
+    """P(X in union of intervals) for X ~ N(mean, std), merging overlaps."""
+    if not intervals:
+        return 0.0
+    merged: List[Tuple[float, float]] = []
+    for low, high in sorted(intervals):
+        if merged and low <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], high))
+        else:
+            merged.append((low, high))
+    return min(1.0, sum(_interval_probability(mean, std, low, high) for low, high in merged))
+
+
+def pair_collision_probability(
+    freq_j: float,
+    freq_k: float,
+    sigma_ghz: float = DEFAULT_SIGMA_GHZ,
+    delta: float = ANHARMONICITY_GHZ,
+    thresholds: CollisionThresholds = DEFAULT_THRESHOLDS,
+) -> float:
+    """Probability that a connected pair triggers any of conditions 1-4.
+
+    The relevant random variable is the post-fabrication difference
+    D = f_j - f_k, Gaussian with mean ``freq_j - freq_k`` and standard
+    deviation ``sigma * sqrt(2)``.  Conditions 1-4 (checked in both
+    orientations) are unions of intervals in D, so their joint probability
+    is exact up to the merging of intervals.
+    """
+    mean = freq_j - freq_k
+    std = sigma_ghz * math.sqrt(2.0)
+    t1, t2, t3 = thresholds.condition_1_ghz, thresholds.condition_2_ghz, thresholds.condition_3_ghz
+    intervals = [
+        (-t1, t1),                               # condition 1: D ~= 0
+        (-delta / 2.0 - t2, -delta / 2.0 + t2),  # condition 2: D ~= -delta/2
+        (delta / 2.0 - t2, delta / 2.0 + t2),    #   (other orientation)
+        (-delta - t3, -delta + t3),              # condition 3: D ~= -delta
+        (delta - t3, delta + t3),                #   (other orientation)
+        (-delta, math.inf),                      # condition 4: D > -delta
+        (-math.inf, delta),                      #   (other orientation)
+    ]
+    return _union_probability(mean, std, intervals)
+
+
+def triple_collision_probability(
+    freq_j: float,
+    freq_i: float,
+    freq_k: float,
+    sigma_ghz: float = DEFAULT_SIGMA_GHZ,
+    delta: float = ANHARMONICITY_GHZ,
+    thresholds: CollisionThresholds = DEFAULT_THRESHOLDS,
+) -> float:
+    """Probability that a (j; i, k) triple triggers any of conditions 5-7.
+
+    Conditions 5 and 6 live on the spectator difference f_i - f_k
+    (std sigma * sqrt(2)); condition 7 lives on 2 f_j - f_i - f_k
+    (std sigma * sqrt(6)).  The two variables are combined with the
+    independence approximation.
+    """
+    spectator_mean = freq_i - freq_k
+    spectator_std = sigma_ghz * math.sqrt(2.0)
+    t5, t6, t7 = thresholds.condition_5_ghz, thresholds.condition_6_ghz, thresholds.condition_7_ghz
+    p_spectator = _union_probability(
+        spectator_mean,
+        spectator_std,
+        [
+            (-t5, t5),
+            (-delta - t6, -delta + t6),
+            (delta - t6, delta + t6),
+        ],
+    )
+    sum_mean = 2.0 * freq_j - freq_i - freq_k
+    sum_std = sigma_ghz * math.sqrt(6.0)
+    p_sum = _interval_probability(sum_mean, sum_std, -delta - t7, -delta + t7)
+    return 1.0 - (1.0 - p_spectator) * (1.0 - p_sum)
+
+
+@dataclass(frozen=True)
+class AnalyticYieldEstimate:
+    """Result of the analytic yield approximation."""
+
+    yield_rate: float
+    pair_failure_probabilities: Dict[Tuple[int, int], float]
+    triple_failure_probabilities: Dict[Tuple[int, int, int], float]
+
+    def worst_pair(self) -> Tuple[Tuple[int, int], float]:
+        """The connected pair contributing the largest collision probability."""
+        pair = max(self.pair_failure_probabilities, key=self.pair_failure_probabilities.get)
+        return pair, self.pair_failure_probabilities[pair]
+
+
+def estimate_yield_analytic(
+    architecture: Architecture,
+    sigma_ghz: float = DEFAULT_SIGMA_GHZ,
+    delta: float = ANHARMONICITY_GHZ,
+    thresholds: CollisionThresholds = DEFAULT_THRESHOLDS,
+) -> AnalyticYieldEstimate:
+    """Approximate the fabrication yield of a designed architecture analytically.
+
+    Args:
+        architecture: A fully designed architecture (frequencies required).
+        sigma_ghz: Fabrication precision.
+        delta: Qubit anharmonicity.
+        thresholds: Collision thresholds.
+
+    Returns:
+        The yield approximation together with the per-pair and per-triple
+        collision probabilities (useful for diagnosing which connection
+        limits the yield).
+    """
+    if not architecture.frequencies:
+        raise ValueError(
+            f"architecture {architecture.name!r} has no designed frequencies; "
+            "run frequency allocation first"
+        )
+    frequencies = architecture.frequencies
+    pair_probabilities: Dict[Tuple[int, int], float] = {}
+    for j, k in architecture.collision_pairs():
+        pair_probabilities[(j, k)] = pair_collision_probability(
+            frequencies[j], frequencies[k], sigma_ghz, delta, thresholds
+        )
+    triple_probabilities: Dict[Tuple[int, int, int], float] = {}
+    for j, i, k in architecture.collision_triples():
+        triple_probabilities[(j, i, k)] = triple_collision_probability(
+            frequencies[j], frequencies[i], frequencies[k], sigma_ghz, delta, thresholds
+        )
+    yield_rate = 1.0
+    for probability in pair_probabilities.values():
+        yield_rate *= 1.0 - probability
+    for probability in triple_probabilities.values():
+        yield_rate *= 1.0 - probability
+    return AnalyticYieldEstimate(
+        yield_rate=yield_rate,
+        pair_failure_probabilities=pair_probabilities,
+        triple_failure_probabilities=triple_probabilities,
+    )

@@ -1,0 +1,205 @@
+"""The seven frequency-collision conditions (paper Figure 3).
+
+Conditions 1-4 are evaluated on every *connected* qubit pair ``(j, k)``;
+conditions 5-7 are evaluated on every triple ``(j; i, k)`` in which both
+``i`` and ``k`` are connected to the centre qubit ``j``.
+
+All frequencies are in GHz.  ``delta`` is the qubit anharmonicity
+(f12 - f01), -340 MHz for the transmon design the paper assumes.
+
+The conditions, with their thresholds:
+
+====  =============================  ==========
+ #    condition                      threshold
+====  =============================  ==========
+ 1    f_j ~= f_k                     +-17 MHz
+ 2    f_j ~= f_k - delta/2           +-4 MHz
+ 3    f_j ~= f_k - delta             +-25 MHz
+ 4    f_j >  f_k - delta             (inequality, no threshold)
+ 5    f_i ~= f_k                     +-17 MHz
+ 6    f_i ~= f_k - delta             +-25 MHz
+ 7    2 f_j + delta ~= f_k + f_i     +-17 MHz
+====  =============================  ==========
+
+Because the paper does not fix a control/target orientation for each
+connection, the asymmetric two-qubit conditions (2, 3, 4) and the
+asymmetric three-qubit condition (6) are checked in both orientations,
+which is the conservative reading also used by IBM's published yield
+studies (either qubit of a pair can serve as the cross-resonance control).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+#: Anharmonicity delta = f12 - f01 in GHz (paper Section 2.2).
+ANHARMONICITY_GHZ = -0.340
+
+
+class CollisionCondition(enum.IntEnum):
+    """Identifier of the seven collision conditions of Figure 3."""
+
+    SAME_FREQUENCY = 1
+    HALF_ANHARMONICITY = 2
+    FULL_ANHARMONICITY = 3
+    ABOVE_ANHARMONICITY = 4
+    SPECTATOR_SAME_FREQUENCY = 5
+    SPECTATOR_FULL_ANHARMONICITY = 6
+    THREE_QUBIT_SUM = 7
+
+
+@dataclass(frozen=True)
+class CollisionThresholds:
+    """Thresholds (in GHz) of the approximate-equality collision conditions."""
+
+    condition_1_ghz: float = 0.017
+    condition_2_ghz: float = 0.004
+    condition_3_ghz: float = 0.025
+    condition_5_ghz: float = 0.017
+    condition_6_ghz: float = 0.025
+    condition_7_ghz: float = 0.017
+
+
+#: The thresholds published in [Brink et al., IEDM 2018] and used by the paper.
+DEFAULT_THRESHOLDS = CollisionThresholds()
+
+
+@dataclass(frozen=True)
+class Collision:
+    """A single detected collision: which condition fired on which qubits."""
+
+    condition: CollisionCondition
+    qubits: Tuple[int, ...]
+
+
+def check_pair_collisions(
+    freq_j: float,
+    freq_k: float,
+    delta: float = ANHARMONICITY_GHZ,
+    thresholds: CollisionThresholds = DEFAULT_THRESHOLDS,
+) -> List[CollisionCondition]:
+    """Collision conditions triggered by a connected pair with the given frequencies.
+
+    The pair is treated symmetrically: asymmetric conditions are evaluated
+    with each qubit playing the role of ``j``.
+    """
+    found: List[CollisionCondition] = []
+    if abs(freq_j - freq_k) < thresholds.condition_1_ghz:
+        found.append(CollisionCondition.SAME_FREQUENCY)
+    if (
+        abs(freq_j - (freq_k - delta / 2.0)) < thresholds.condition_2_ghz
+        or abs(freq_k - (freq_j - delta / 2.0)) < thresholds.condition_2_ghz
+    ):
+        found.append(CollisionCondition.HALF_ANHARMONICITY)
+    if (
+        abs(freq_j - (freq_k - delta)) < thresholds.condition_3_ghz
+        or abs(freq_k - (freq_j - delta)) < thresholds.condition_3_ghz
+    ):
+        found.append(CollisionCondition.FULL_ANHARMONICITY)
+    if freq_j > freq_k - delta or freq_k > freq_j - delta:
+        found.append(CollisionCondition.ABOVE_ANHARMONICITY)
+    return found
+
+
+def check_triple_collisions(
+    freq_j: float,
+    freq_i: float,
+    freq_k: float,
+    delta: float = ANHARMONICITY_GHZ,
+    thresholds: CollisionThresholds = DEFAULT_THRESHOLDS,
+) -> List[CollisionCondition]:
+    """Collision conditions triggered by a centre qubit ``j`` and two spectators ``i``, ``k``."""
+    found: List[CollisionCondition] = []
+    if abs(freq_i - freq_k) < thresholds.condition_5_ghz:
+        found.append(CollisionCondition.SPECTATOR_SAME_FREQUENCY)
+    if (
+        abs(freq_i - (freq_k - delta)) < thresholds.condition_6_ghz
+        or abs(freq_k - (freq_i - delta)) < thresholds.condition_6_ghz
+    ):
+        found.append(CollisionCondition.SPECTATOR_FULL_ANHARMONICITY)
+    if abs(2.0 * freq_j + delta - (freq_k + freq_i)) < thresholds.condition_7_ghz:
+        found.append(CollisionCondition.THREE_QUBIT_SUM)
+    return found
+
+
+def find_collisions(
+    frequencies: Dict[int, float],
+    pairs: Iterable[Tuple[int, int]],
+    triples: Iterable[Tuple[int, int, int]],
+    delta: float = ANHARMONICITY_GHZ,
+    thresholds: CollisionThresholds = DEFAULT_THRESHOLDS,
+) -> List[Collision]:
+    """All collisions present in a single (post-fabrication) frequency assignment.
+
+    Args:
+        frequencies: Qubit -> frequency in GHz.
+        pairs: Connected qubit pairs ``(j, k)``.
+        triples: Triples ``(j, i, k)`` where ``i`` and ``k`` both connect to ``j``.
+    """
+    collisions: List[Collision] = []
+    for j, k in pairs:
+        for condition in check_pair_collisions(frequencies[j], frequencies[k], delta, thresholds):
+            collisions.append(Collision(condition, (j, k)))
+    for j, i, k in triples:
+        for condition in check_triple_collisions(
+            frequencies[j], frequencies[i], frequencies[k], delta, thresholds
+        ):
+            collisions.append(Collision(condition, (j, i, k)))
+    return collisions
+
+
+# ---------------------------------------------------------------------------
+# Vectorized forms used by the Monte Carlo yield simulator.  ``freqs`` is a
+# (trials, num_qubits) array; the functions return a boolean vector of length
+# ``trials`` that is True when ANY collision of the given family occurs.
+# ---------------------------------------------------------------------------
+
+
+def pair_collision_mask(
+    freqs: np.ndarray,
+    pairs_j: np.ndarray,
+    pairs_k: np.ndarray,
+    delta: float = ANHARMONICITY_GHZ,
+    thresholds: CollisionThresholds = DEFAULT_THRESHOLDS,
+) -> np.ndarray:
+    """Per-trial boolean mask: does any connected pair trigger conditions 1-4?"""
+    if pairs_j.size == 0:
+        return np.zeros(freqs.shape[0], dtype=bool)
+    fj = freqs[:, pairs_j]
+    fk = freqs[:, pairs_k]
+    diff = fj - fk
+    cond1 = np.abs(diff) < thresholds.condition_1_ghz
+    cond2 = (np.abs(diff + delta / 2.0) < thresholds.condition_2_ghz) | (
+        np.abs(-diff + delta / 2.0) < thresholds.condition_2_ghz
+    )
+    cond3 = (np.abs(diff + delta) < thresholds.condition_3_ghz) | (
+        np.abs(-diff + delta) < thresholds.condition_3_ghz
+    )
+    cond4 = (fj > fk - delta) | (fk > fj - delta)
+    return (cond1 | cond2 | cond3 | cond4).any(axis=1)
+
+
+def triple_collision_mask(
+    freqs: np.ndarray,
+    triples_j: np.ndarray,
+    triples_i: np.ndarray,
+    triples_k: np.ndarray,
+    delta: float = ANHARMONICITY_GHZ,
+    thresholds: CollisionThresholds = DEFAULT_THRESHOLDS,
+) -> np.ndarray:
+    """Per-trial boolean mask: does any (j; i, k) triple trigger conditions 5-7?"""
+    if triples_j.size == 0:
+        return np.zeros(freqs.shape[0], dtype=bool)
+    fj = freqs[:, triples_j]
+    fi = freqs[:, triples_i]
+    fk = freqs[:, triples_k]
+    cond5 = np.abs(fi - fk) < thresholds.condition_5_ghz
+    cond6 = (np.abs(fi - fk + delta) < thresholds.condition_6_ghz) | (
+        np.abs(fk - fi + delta) < thresholds.condition_6_ghz
+    )
+    cond7 = np.abs(2.0 * fj + delta - (fk + fi)) < thresholds.condition_7_ghz
+    return (cond5 | cond6 | cond7).any(axis=1)

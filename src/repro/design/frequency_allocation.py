@@ -1,0 +1,246 @@
+"""Frequency allocation subroutine — Algorithm 3 of the paper.
+
+Given a finished qubit layout and connection design, assign each qubit a
+pre-fabrication frequency inside the allowed band (5.00-5.34 GHz) so that
+the Monte Carlo yield of the whole chip is maximized.
+
+The algorithm exploits two observations the paper makes: (1) qubits at
+the geometric centre of the layout have the most connections and are the
+most collision-prone, and (2) collisions are local — a qubit can only
+collide with qubits at distance one or two in the coupling graph.  It
+therefore fixes the centre qubit to the middle of the band and then walks
+the coupling graph breadth-first, assigning each newly reached qubit the
+candidate frequency that maximizes the simulated yield of its *local
+region* (the already-assigned qubits it can collide with).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.collision.conditions import (
+    ANHARMONICITY_GHZ,
+    CollisionThresholds,
+    DEFAULT_THRESHOLDS,
+    pair_collision_mask,
+    triple_collision_mask,
+)
+from repro.hardware.architecture import Architecture
+from repro.hardware.frequency import (
+    DEFAULT_SIGMA_GHZ,
+    candidate_frequencies,
+    middle_frequency,
+)
+from repro.utils.rng import seed_for
+
+
+@dataclass
+class FrequencyAllocator:
+    """Configuration of the Algorithm 3 frequency search.
+
+    Attributes:
+        sigma_ghz: Fabrication noise standard deviation used in the local
+            yield simulations.
+        local_trials: Monte Carlo trials per (qubit, candidate frequency)
+            evaluation.  The local regions are tiny (a handful of qubits),
+            so a modest trial count already separates good candidates from
+            bad ones; the final full-chip yield is always re-estimated with
+            the full simulator.
+        frequency_step_ghz: Spacing of the candidate frequency grid
+            (0.01 GHz in the paper).
+        delta_ghz: Qubit anharmonicity.
+        thresholds: Collision thresholds.
+        seed: Base seed; the noise used to compare candidates for a given
+            qubit is common across candidates (common random numbers), so
+            the argmax is not dominated by sampling noise.
+        refinement_passes: Number of coordinate-descent sweeps run after
+            the centre-out BFS assignment.  Each sweep revisits every qubit
+            (in the same BFS order) and re-optimizes its frequency against
+            the now-complete assignment of its local region.  The default
+            of 0 reproduces the paper's Algorithm 3 exactly; the option
+            exists for the global-optimization ablation suggested in the
+            paper's Discussion section.
+    """
+
+    sigma_ghz: float = DEFAULT_SIGMA_GHZ
+    local_trials: int = 2000
+    frequency_step_ghz: float = 0.01
+    delta_ghz: float = ANHARMONICITY_GHZ
+    thresholds: CollisionThresholds = DEFAULT_THRESHOLDS
+    seed: int = 2020
+    refinement_passes: int = 0
+
+    def allocate(self, architecture: Architecture) -> Dict[int, float]:
+        """Assign a frequency to every qubit of ``architecture``.
+
+        The input architecture's existing frequencies (if any) are ignored;
+        only its layout and coupling graph are used, as in the paper where
+        "the input of our algorithm is only the qubit location and
+        connection generated from the previous two subroutines".
+        """
+        qubits = architecture.qubits
+        if not qubits:
+            raise ValueError("architecture has no qubits")
+        neighbors = {q: architecture.neighbors(q) for q in qubits}
+        pairs = architecture.collision_pairs()
+        triples = architecture.collision_triples()
+        candidates = candidate_frequencies(self.frequency_step_ghz)
+
+        frequencies: Dict[int, float] = {}
+        center = architecture.lattice.central_qubit()
+        frequencies[center] = middle_frequency()
+
+        order = self._traversal_order(center, qubits, neighbors)
+        for qubit in order:
+            if qubit in frequencies:
+                continue
+            frequencies[qubit] = self._best_frequency(
+                qubit, frequencies, pairs, triples, candidates
+            )
+
+        # Optional coordinate-descent refinement: revisit every qubit with the
+        # full assignment known.  The first (centre) qubit is included too —
+        # its initial mid-band choice is only a heuristic starting point.
+        for _sweep in range(max(0, self.refinement_passes)):
+            for qubit in order:
+                context = {q: f for q, f in frequencies.items() if q != qubit}
+                frequencies[qubit] = self._best_frequency(
+                    qubit, context, pairs, triples, candidates
+                )
+        return frequencies
+
+    # -- traversal -------------------------------------------------------------
+
+    def _traversal_order(
+        self,
+        center: int,
+        qubits: Sequence[int],
+        neighbors: Dict[int, List[int]],
+    ) -> List[int]:
+        """Breadth-first order over the coupling graph starting at the centre qubit.
+
+        Qubits unreachable from the centre (possible only for degenerate
+        layouts) are appended afterwards in index order so every qubit gets
+        a frequency.
+        """
+        order: List[int] = []
+        visited: Set[int] = {center}
+        queue = deque([center])
+        while queue:
+            current = queue.popleft()
+            order.append(current)
+            for neighbor in neighbors[current]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    queue.append(neighbor)
+        for qubit in qubits:
+            if qubit not in visited:
+                order.append(qubit)
+        return order
+
+    # -- candidate evaluation ----------------------------------------------------
+
+    def _best_frequency(
+        self,
+        qubit: int,
+        assigned: Dict[int, float],
+        pairs: Sequence[Tuple[int, int]],
+        triples: Sequence[Tuple[int, int, int]],
+        candidates: np.ndarray,
+    ) -> float:
+        """The candidate frequency maximizing the local-region yield for ``qubit``."""
+        local_pairs, local_triples, region = self._local_region(qubit, assigned, pairs, triples)
+        if not local_pairs and not local_triples:
+            # Isolated qubit (no assigned neighbour yet): the middle of the band
+            # is as good as any other choice.
+            return middle_frequency()
+
+        region_order = sorted(region)
+        index_of = {q: i for i, q in enumerate(region_order)}
+        qubit_index = index_of[qubit]
+        base = np.array([assigned.get(q, 0.0) for q in region_order])
+        pair_idx = np.array([[index_of[a], index_of[b]] for a, b in local_pairs], dtype=int)
+        pair_idx = pair_idx.reshape(-1, 2)
+        triple_idx = np.array(
+            [[index_of[j], index_of[i], index_of[k]] for j, i, k in local_triples], dtype=int
+        ).reshape(-1, 3)
+
+        # Common random numbers: the same fabrication noise is reused for every
+        # candidate so that the comparison reflects the designed frequencies,
+        # not the particular noise draw.
+        rng = np.random.default_rng(seed_for("freq-alloc", self.seed, qubit))
+        noise = rng.normal(0.0, self.sigma_ghz, size=(self.local_trials, len(region_order)))
+
+        best_candidate = float(candidates[0])
+        best_yield = -1.0
+        for candidate in candidates:
+            designed = base.copy()
+            designed[qubit_index] = candidate
+            sampled = designed[None, :] + noise
+            failed = pair_collision_mask(
+                sampled, pair_idx[:, 0], pair_idx[:, 1], self.delta_ghz, self.thresholds
+            ) | triple_collision_mask(
+                sampled,
+                triple_idx[:, 0],
+                triple_idx[:, 1],
+                triple_idx[:, 2],
+                self.delta_ghz,
+                self.thresholds,
+            )
+            local_yield = 1.0 - failed.mean()
+            if local_yield > best_yield + 1e-12:
+                best_yield = local_yield
+                best_candidate = float(candidate)
+        return best_candidate
+
+    def _local_region(
+        self,
+        qubit: int,
+        assigned: Dict[int, float],
+        pairs: Sequence[Tuple[int, int]],
+        triples: Sequence[Tuple[int, int, int]],
+    ) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int, int]], Set[int]]:
+        """Pairs/triples involving ``qubit`` whose other members are already assigned.
+
+        This is the "local region" of Algorithm 3: only connections through
+        which the new qubit can collide, restricted to qubits whose
+        frequencies are already fixed.
+        """
+        known = set(assigned) | {qubit}
+        local_pairs = [
+            (a, b)
+            for a, b in pairs
+            if qubit in (a, b) and a in known and b in known
+        ]
+        local_triples = [
+            (j, i, k)
+            for j, i, k in triples
+            if qubit in (j, i, k) and j in known and i in known and k in known
+        ]
+        region: Set[int] = {qubit}
+        for a, b in local_pairs:
+            region.update((a, b))
+        for j, i, k in local_triples:
+            region.update((j, i, k))
+        return local_pairs, local_triples, region
+
+
+def allocate_frequencies(
+    architecture: Architecture,
+    sigma_ghz: float = DEFAULT_SIGMA_GHZ,
+    local_trials: int = 2000,
+    seed: int = 2020,
+    refinement_passes: int = 0,
+) -> Dict[int, float]:
+    """One-call convenience wrapper around :class:`FrequencyAllocator`."""
+    allocator = FrequencyAllocator(
+        sigma_ghz=sigma_ghz,
+        local_trials=local_trials,
+        seed=seed,
+        refinement_passes=refinement_passes,
+    )
+    return allocator.allocate(architecture)

@@ -1,0 +1,127 @@
+"""Layout design subroutine — Algorithm 1 of the paper.
+
+Qubits are placed one at a time on an initially empty 2D lattice:
+
+1. the qubit with the largest coupling degree is placed at (0, 0);
+2. among the not-yet-placed qubits that couple to at least one placed
+   qubit, the one with the largest coupling degree is selected next;
+3. it is placed on the empty node, adjacent to at least one occupied
+   node, that minimizes the heuristic cost
+   ``sum over placed neighbours q' of  strength(q, q') * manhattan(node, node(q'))``.
+
+The physical qubit id equals the logical qubit id, so the pseudo-mapping
+between program qubits and hardware qubits recorded by this subroutine is
+the identity; the geometric structure (who is adjacent to whom) is what
+carries the profiling information into the later subroutines and into the
+mapper's initial placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.hardware.lattice import Coordinate, Lattice, manhattan_distance
+from repro.profiling.profiler import CircuitProfile
+
+
+@dataclass
+class LayoutResult:
+    """Output of the layout design subroutine.
+
+    Attributes:
+        lattice: The placed qubits (physical id = logical id).
+        placement_order: Qubits in the order they were placed.
+        logical_to_physical: The identity pseudo-mapping recorded for the mapper.
+    """
+
+    lattice: Lattice
+    placement_order: List[int]
+    logical_to_physical: Dict[int, int]
+
+
+def design_layout(profile: CircuitProfile) -> LayoutResult:
+    """Run Algorithm 1 on a circuit profile.
+
+    Disconnected program qubits (qubits with no two-qubit gates, or
+    belonging to another connected component of the logical coupling
+    graph) are handled by falling back to the highest-degree remaining
+    qubit and placing it at the cheapest frontier node, which keeps the
+    layout a single connected patch of the lattice so that every qubit can
+    be wired with nearest-neighbour buses.
+    """
+    lattice = Lattice()
+    placement_order: List[int] = []
+    degree_rank = {qubit: rank for rank, (qubit, _degree) in enumerate(profile.degree_list)}
+    remaining = set(range(profile.num_qubits))
+
+    first_qubit = profile.degree_list[0][0]
+    lattice.place(first_qubit, (0, 0))
+    placement_order.append(first_qubit)
+    remaining.discard(first_qubit)
+
+    while remaining:
+        candidate = _next_qubit(profile, lattice, remaining, degree_rank)
+        location = _best_location(profile, lattice, candidate)
+        lattice.place(candidate, location)
+        placement_order.append(candidate)
+        remaining.discard(candidate)
+
+    logical_to_physical = {qubit: qubit for qubit in range(profile.num_qubits)}
+    return LayoutResult(
+        lattice=lattice,
+        placement_order=placement_order,
+        logical_to_physical=logical_to_physical,
+    )
+
+
+def _next_qubit(
+    profile: CircuitProfile,
+    lattice: Lattice,
+    remaining: set,
+    degree_rank: Dict[int, int],
+) -> int:
+    """The next qubit to place: highest-degree candidate coupled to a placed qubit.
+
+    Falls back to the highest-degree remaining qubit when no remaining
+    qubit couples to the placed set (disconnected coupling graph).
+    """
+    placed = set(lattice.qubits)
+    candidates = [
+        qubit
+        for qubit in remaining
+        if any(neighbor in placed for neighbor in profile.neighbors(qubit))
+    ]
+    pool = candidates if candidates else list(remaining)
+    return min(pool, key=lambda qubit: (degree_rank[qubit], qubit))
+
+
+def _best_location(profile: CircuitProfile, lattice: Lattice, qubit: int) -> Coordinate:
+    """The frontier node minimizing the Algorithm 1 cost function for ``qubit``."""
+    placed = set(lattice.qubits)
+    placed_neighbors = [q for q in profile.neighbors(qubit) if q in placed]
+    center = _rounded_center(lattice)
+    best_location: Optional[Coordinate] = None
+    best_key: Optional[Tuple[float, int, Coordinate]] = None
+    for location in lattice.empty_frontier():
+        cost = 0.0
+        for neighbor in placed_neighbors:
+            cost += profile.strength(qubit, neighbor) * manhattan_distance(
+                location, lattice.node_of(neighbor)
+            )
+        # Deterministic tie-break: prefer the node closest to the centre of the
+        # current patch, then the lexicographically smallest coordinate.  This
+        # keeps layouts compact when several nodes have equal heuristic cost
+        # (e.g. the very first few placements, where the cost is 0 or symmetric).
+        key = (cost, manhattan_distance(location, center), location)
+        if best_key is None or key < best_key:
+            best_key = key
+            best_location = location
+    if best_location is None:
+        raise RuntimeError("no frontier node available (lattice is empty?)")
+    return best_location
+
+
+def _rounded_center(lattice: Lattice) -> Coordinate:
+    center_x, center_y = lattice.geometric_center()
+    return (int(round(center_x)), int(round(center_y)))

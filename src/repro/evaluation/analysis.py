@@ -1,0 +1,175 @@
+"""Headline comparisons of the paper's Sections 5.3 and 5.4.
+
+These helpers distil an :class:`~repro.evaluation.experiment.ExperimentResult`
+(or a suite of them) into the aggregate numbers the paper quotes:
+
+* Section 5.3 — the most simplified design vs the 16-qubit baseline
+  without 4-qubit buses (~7.7% performance gain, ~4x yield), vs the
+  16-qubit baseline with four 4-qubit buses (>100x yield, <1% performance
+  loss), and the maximally connected design vs the 20-qubit baseline with
+  six 4-qubit buses (>1000x yield, ~3.5% performance loss);
+* Section 5.4.1 — the ``eff-layout-only`` 2-qubit-bus design vs baseline
+  (2) (~35x average yield improvement);
+* Section 5.4.3 — ``eff-full`` vs ``eff-5-freq`` (~10x average yield
+  improvement from Algorithm 3).
+
+Monte Carlo yield estimates can legitimately be zero for very collision-
+prone baselines; ratios then use a floor of one success over the trial
+count so "at least X times better" statements remain well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.evaluation.configs import ExperimentConfig
+from repro.evaluation.experiment import DataPoint, ExperimentResult
+
+
+@dataclass(frozen=True)
+class HeadlineComparison:
+    """One generated-design vs baseline comparison.
+
+    Attributes:
+        benchmark: Benchmark name.
+        ours: The generated design's data point.
+        baseline: The baseline data point it is compared against.
+        yield_ratio: ``ours.yield / max(baseline.yield, floor)``.
+        performance_change: Relative change in total gate count
+            (< 0 means our design needs fewer gates, i.e. performs better).
+    """
+
+    benchmark: str
+    ours: DataPoint
+    baseline: DataPoint
+    yield_ratio: float
+    performance_change: float
+
+
+def _yield_floor(point: DataPoint, trials: int) -> float:
+    """A zero yield estimate is replaced by the smallest resolvable value."""
+    return max(point.yield_rate, 1.0 / trials)
+
+
+def compare_points(ours: DataPoint, baseline: DataPoint, trials: int) -> HeadlineComparison:
+    """Build a :class:`HeadlineComparison` between two data points."""
+    return HeadlineComparison(
+        benchmark=ours.benchmark,
+        ours=ours,
+        baseline=baseline,
+        yield_ratio=_yield_floor(ours, trials) / _yield_floor(baseline, trials),
+        performance_change=(ours.total_gates - baseline.total_gates) / baseline.total_gates,
+    )
+
+
+def _baseline_point(result: ExperimentResult, index: int) -> Optional[DataPoint]:
+    """The ``ibm`` baseline labeled ``(index)`` in Figure 9 (1-based), if evaluated."""
+    names = {
+        1: "ibm_16q_2x8_2qbus",
+        2: "ibm_16q_2x8_4qbus",
+        3: "ibm_20q_4x5_2qbus",
+        4: "ibm_20q_4x5_4qbus",
+    }
+    for point in result.by_config(ExperimentConfig.IBM):
+        if point.architecture_name == names[index]:
+            return point
+    return None
+
+
+def _most_simplified(result: ExperimentResult) -> Optional[DataPoint]:
+    """The ``eff-full`` design with the fewest 4-qubit buses (fewest connections)."""
+    points = result.by_config(ExperimentConfig.EFF_FULL)
+    return min(points, key=lambda p: (p.num_four_qubit_buses, p.num_connections), default=None)
+
+
+def _most_connected(result: ExperimentResult) -> Optional[DataPoint]:
+    """The ``eff-full`` design with the most 4-qubit buses."""
+    points = result.by_config(ExperimentConfig.EFF_FULL)
+    return max(points, key=lambda p: (p.num_four_qubit_buses, p.num_connections), default=None)
+
+
+def headline_comparisons(
+    results: Dict[str, ExperimentResult],
+    trials: int = 10_000,
+) -> Dict[str, List[HeadlineComparison]]:
+    """The three Section 5.3 comparisons for every benchmark.
+
+    Returns a dict with keys ``"simplest_vs_ibm1"``, ``"simplest_vs_ibm2"``,
+    and ``"max_vs_ibm4"``, each mapping to one comparison per benchmark
+    (benchmarks missing the needed points are skipped).
+    """
+    output: Dict[str, List[HeadlineComparison]] = {
+        "simplest_vs_ibm1": [],
+        "simplest_vs_ibm2": [],
+        "max_vs_ibm4": [],
+    }
+    for result in results.values():
+        simplest = _most_simplified(result)
+        most_connected = _most_connected(result)
+        for key, ours, baseline_index in (
+            ("simplest_vs_ibm1", simplest, 1),
+            ("simplest_vs_ibm2", simplest, 2),
+            ("max_vs_ibm4", most_connected, 4),
+        ):
+            baseline = _baseline_point(result, baseline_index)
+            if ours is not None and baseline is not None:
+                output[key].append(compare_points(ours, baseline, trials))
+    return output
+
+
+def layout_effect_gain(
+    results: Dict[str, ExperimentResult], trials: int = 10_000
+) -> List[HeadlineComparison]:
+    """Section 5.4.1: ``eff-layout-only`` (2-qubit buses) vs ``ibm`` baseline (2).
+
+    The paper reports ~35x average yield improvement with comparable or
+    better performance.
+    """
+    comparisons = []
+    for result in results.values():
+        layout_points = result.by_config(ExperimentConfig.EFF_LAYOUT_ONLY)
+        ours = min(layout_points, key=lambda p: p.num_connections, default=None)
+        baseline = _baseline_point(result, 2)
+        if ours is not None and baseline is not None:
+            comparisons.append(compare_points(ours, baseline, trials))
+    return comparisons
+
+
+def frequency_allocation_gain(
+    results: Dict[str, ExperimentResult], trials: int = 10_000
+) -> List[HeadlineComparison]:
+    """Section 5.4.3: ``eff-full`` vs ``eff-5-freq`` at matching bus counts.
+
+    The paper reports ~10x average yield improvement from the optimized
+    frequency allocation.  Architectures are matched by their number of
+    4-qubit buses so the only difference is the frequency plan.
+    """
+    comparisons = []
+    for result in results.values():
+        five_freq = {
+            point.num_four_qubit_buses: point
+            for point in result.by_config(ExperimentConfig.EFF_5_FREQ)
+        }
+        for ours in result.by_config(ExperimentConfig.EFF_FULL):
+            baseline = five_freq.get(ours.num_four_qubit_buses)
+            if baseline is not None:
+                comparisons.append(compare_points(ours, baseline, trials))
+    return comparisons
+
+
+def geometric_mean_yield_ratio(comparisons: Sequence[HeadlineComparison]) -> float:
+    """Geometric mean of the yield ratios (the paper's "on average" statements)."""
+    if not comparisons:
+        return float("nan")
+    product = 1.0
+    for comparison in comparisons:
+        product *= comparison.yield_ratio
+    return product ** (1.0 / len(comparisons))
+
+
+def mean_performance_change(comparisons: Sequence[HeadlineComparison]) -> float:
+    """Arithmetic mean of the relative gate-count change."""
+    if not comparisons:
+        return float("nan")
+    return sum(c.performance_change for c in comparisons) / len(comparisons)

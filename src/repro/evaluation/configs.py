@@ -1,0 +1,125 @@
+"""The five experiment configurations of the paper's evaluation (Section 5.2).
+
+========================  =====================================================
+configuration             meaning
+========================  =====================================================
+``ibm``                   IBM's four general-purpose baseline architectures
+                          (Figure 9), 5-frequency scheme.
+``eff-full``              The full design flow: optimized layout, filtered-
+                          weight bus selection, optimized frequency allocation;
+                          one architecture per 4-qubit bus count.
+``eff-5-freq``            Optimized layout and bus selection, but IBM's
+                          5-frequency scheme instead of Algorithm 3.
+``eff-rd-bus``            Optimized layout and frequency allocation, but the
+                          4-qubit bus squares are selected at random (several
+                          seeds produce a cloud of samples).
+``eff-layout-only``       Optimized layout, but the connection design is either
+                          "2-qubit buses only" or "as many 4-qubit buses as
+                          possible" and the frequencies follow the 5-frequency
+                          scheme — isolating the benefit of Algorithm 1.
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Optional, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.design.flow import BusStrategy, DesignFlow, DesignOptions, FrequencyStrategy
+from repro.hardware.architecture import Architecture
+from repro.hardware.frequency import five_frequency_scheme
+from repro.hardware.ibm import ibm_baselines
+
+
+class ExperimentConfig(enum.Enum):
+    """The five experiment configurations compared in Figure 10."""
+
+    IBM = "ibm"
+    EFF_FULL = "eff-full"
+    EFF_5_FREQ = "eff-5-freq"
+    EFF_RD_BUS = "eff-rd-bus"
+    EFF_LAYOUT_ONLY = "eff-layout-only"
+
+
+def config_display_name(config: ExperimentConfig) -> str:
+    """The label used for the configuration in the paper's figures."""
+    return config.value
+
+
+def architectures_for_config(
+    circuit: QuantumCircuit,
+    config: ExperimentConfig,
+    random_bus_seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    frequency_local_trials: int = 2000,
+) -> List[Architecture]:
+    """Generate every architecture evaluated under ``config`` for ``circuit``.
+
+    Args:
+        circuit: The benchmark program.
+        config: Which of the five experiment configurations to generate.
+        random_bus_seeds: Seeds used by ``eff-rd-bus`` — each seed produces
+            one random architecture per bus count, forming the sample cloud
+            of Section 5.4.2.
+        frequency_local_trials: Monte Carlo trials per candidate frequency in
+            Algorithm 3 (applies to the configurations that use it).
+    """
+    if config is ExperimentConfig.IBM:
+        return [arch for _index, arch in sorted(ibm_baselines().items())]
+
+    if config is ExperimentConfig.EFF_FULL:
+        options = DesignOptions(local_trials=frequency_local_trials)
+        return DesignFlow(circuit, options).design_series()
+
+    if config is ExperimentConfig.EFF_5_FREQ:
+        options = DesignOptions(
+            frequency_strategy=FrequencyStrategy.FIVE_FREQUENCY,
+            local_trials=frequency_local_trials,
+        )
+        return DesignFlow(circuit, options).design_series()
+
+    if config is ExperimentConfig.EFF_RD_BUS:
+        architectures: List[Architecture] = []
+        max_buses = DesignFlow(circuit).max_four_qubit_buses()
+        for seed in random_bus_seeds:
+            options = DesignOptions(
+                bus_strategy=BusStrategy.RANDOM,
+                random_bus_seed=seed,
+                local_trials=frequency_local_trials,
+            )
+            flow = DesignFlow(circuit, options)
+            previous_bus_count = -1
+            for num_buses in range(1, max_buses + 1):
+                arch = flow.design(num_buses)
+                actual = len(arch.four_qubit_buses())
+                if actual == previous_bus_count:
+                    # The random selection ran out of non-conflicting squares;
+                    # larger requests only duplicate the previous design.
+                    continue
+                previous_bus_count = actual
+                arch.name = f"{arch.name}_seed{seed}"
+                architectures.append(arch)
+        return architectures
+
+    if config is ExperimentConfig.EFF_LAYOUT_ONLY:
+        return _layout_only_architectures(circuit)
+
+    raise ValueError(f"unknown configuration {config!r}")
+
+
+def _layout_only_architectures(circuit: QuantumCircuit) -> List[Architecture]:
+    """The two ``eff-layout-only`` designs: 2-qubit buses only, and max 4-qubit buses.
+
+    Both use IBM's 5-frequency scheme so that the comparison against the
+    ``ibm`` baseline isolates the effect of the layout subroutine alone.
+    """
+    flow = DesignFlow(
+        circuit, DesignOptions(frequency_strategy=FrequencyStrategy.FIVE_FREQUENCY)
+    )
+    minimal = flow.design(0, name=f"layout_only_{circuit.name}_2qbus")
+    maximal = flow.design(
+        flow.max_four_qubit_buses(), name=f"layout_only_{circuit.name}_max4qbus"
+    )
+    for arch in (minimal, maximal):
+        arch.frequencies = five_frequency_scheme(arch.coordinates())
+    return [minimal, maximal]

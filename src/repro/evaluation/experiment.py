@@ -1,0 +1,182 @@
+"""Running the Figure 10 experiment: yield vs post-mapping gate count.
+
+For one benchmark, every architecture of every requested configuration is
+scored on the two axes of the paper's Figure 10:
+
+* **yield rate** — Monte Carlo estimate with the collision model of
+  Section 4.3.1;
+* **normalized reciprocal gate count** — the paper's performance axis:
+  the reciprocal of the total post-mapping gate count, normalized so the
+  worst (largest) gate count among all evaluated architectures of that
+  benchmark sits at 1.0, and better-performing architectures lie to the
+  right (> 1.0).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.collision.yield_simulator import YieldSimulator
+from repro.evaluation.configs import ExperimentConfig, architectures_for_config
+from repro.hardware.architecture import Architecture
+from repro.hardware.frequency import DEFAULT_SIGMA_GHZ
+from repro.mapping.router import route_circuit
+from repro.profiling.profiler import CircuitProfile, profile_circuit
+
+#: Configurations evaluated by default (all five, as in Figure 10).
+DEFAULT_CONFIGS = (
+    ExperimentConfig.IBM,
+    ExperimentConfig.EFF_FULL,
+    ExperimentConfig.EFF_RD_BUS,
+    ExperimentConfig.EFF_5_FREQ,
+    ExperimentConfig.EFF_LAYOUT_ONLY,
+)
+
+
+@dataclass(frozen=True)
+class EvaluationSettings:
+    """Knobs of the evaluation harness.
+
+    Attributes:
+        yield_trials: Monte Carlo trials per architecture (paper: 10,000).
+        sigma_ghz: Fabrication precision (paper: 30 MHz).
+        yield_seed: Seed of the yield simulator (common random numbers
+            across architectures).
+        frequency_local_trials: Trials per candidate inside Algorithm 3.
+        random_bus_seeds: Seeds for the ``eff-rd-bus`` sample cloud.
+        keep_routed_circuits: Whether mapping results retain full circuits
+            (disabled by default to keep sweeps light).
+    """
+
+    yield_trials: int = 10_000
+    sigma_ghz: float = DEFAULT_SIGMA_GHZ
+    yield_seed: int = 7
+    frequency_local_trials: int = 2000
+    random_bus_seeds: Sequence[int] = (1, 2, 3, 4, 5)
+    keep_routed_circuits: bool = False
+
+
+@dataclass
+class DataPoint:
+    """One point of Figure 10: one architecture evaluated for one benchmark."""
+
+    benchmark: str
+    config: ExperimentConfig
+    architecture_name: str
+    num_qubits: int
+    num_connections: int
+    num_four_qubit_buses: int
+    yield_rate: float
+    total_gates: int
+    num_swaps: int = 0
+    normalized_reciprocal_gates: float = 0.0
+
+    @property
+    def reciprocal_gates(self) -> float:
+        return 1.0 / self.total_gates if self.total_gates else 0.0
+
+
+@dataclass
+class ExperimentResult:
+    """All data points of one benchmark's subfigure of Figure 10."""
+
+    benchmark: str
+    points: List[DataPoint] = field(default_factory=list)
+
+    def by_config(self, config: ExperimentConfig) -> List[DataPoint]:
+        return [point for point in self.points if point.config is config]
+
+    def best_yield(self, config: Optional[ExperimentConfig] = None) -> Optional[DataPoint]:
+        pool = self.by_config(config) if config else self.points
+        return max(pool, key=lambda p: p.yield_rate, default=None)
+
+    def best_performance(self, config: Optional[ExperimentConfig] = None) -> Optional[DataPoint]:
+        pool = self.by_config(config) if config else self.points
+        return min(pool, key=lambda p: p.total_gates, default=None)
+
+    def normalize(self) -> None:
+        """Fill in the normalized reciprocal gate count for every point.
+
+        The paper normalizes each benchmark's X axis so that the worst
+        post-mapping gate count maps to 1.0.
+        """
+        if not self.points:
+            return
+        worst = max(point.total_gates for point in self.points)
+        for point in self.points:
+            point.normalized_reciprocal_gates = worst / point.total_gates
+
+
+def evaluate_benchmark(
+    circuit: QuantumCircuit,
+    configs: Iterable[ExperimentConfig] = DEFAULT_CONFIGS,
+    settings: Optional[EvaluationSettings] = None,
+) -> ExperimentResult:
+    """Evaluate one benchmark across the requested configurations.
+
+    Architectures that cannot host the benchmark (fewer physical than
+    logical qubits) are skipped, mirroring the paper where every baseline
+    has at least as many qubits as the largest benchmark.
+    """
+    settings = settings or EvaluationSettings()
+    profile = profile_circuit(circuit)
+    simulator = YieldSimulator(
+        trials=settings.yield_trials, sigma_ghz=settings.sigma_ghz, seed=settings.yield_seed
+    )
+    result = ExperimentResult(benchmark=circuit.name)
+    for config in configs:
+        for architecture in architectures_for_config(
+            circuit,
+            config,
+            random_bus_seeds=settings.random_bus_seeds,
+            frequency_local_trials=settings.frequency_local_trials,
+        ):
+            if architecture.num_qubits < circuit.num_qubits:
+                continue
+            result.points.append(
+                _evaluate_point(circuit, profile, architecture, config, simulator, settings)
+            )
+    result.normalize()
+    return result
+
+
+def evaluate_suite(
+    circuits: Dict[str, QuantumCircuit],
+    configs: Iterable[ExperimentConfig] = DEFAULT_CONFIGS,
+    settings: Optional[EvaluationSettings] = None,
+) -> Dict[str, ExperimentResult]:
+    """Evaluate several benchmarks (the full Figure 10 grid by default)."""
+    return {
+        name: evaluate_benchmark(circuit, configs, settings)
+        for name, circuit in circuits.items()
+    }
+
+
+def _evaluate_point(
+    circuit: QuantumCircuit,
+    profile: CircuitProfile,
+    architecture: Architecture,
+    config: ExperimentConfig,
+    simulator: YieldSimulator,
+    settings: EvaluationSettings,
+) -> DataPoint:
+    mapping = route_circuit(
+        circuit,
+        architecture,
+        profile=profile,
+        keep_routed_circuit=settings.keep_routed_circuits,
+    )
+    yield_estimate = simulator.estimate(architecture)
+    return DataPoint(
+        benchmark=circuit.name,
+        config=config,
+        architecture_name=architecture.name,
+        num_qubits=architecture.num_qubits,
+        num_connections=architecture.num_connections(),
+        num_four_qubit_buses=len(architecture.four_qubit_buses()),
+        yield_rate=yield_estimate.yield_rate,
+        total_gates=mapping.total_gates,
+        num_swaps=mapping.num_swaps,
+    )

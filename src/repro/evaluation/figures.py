@@ -1,0 +1,90 @@
+"""Regeneration of the paper's figures as data tables.
+
+This module turns library objects into the rows/series the paper plots:
+
+* :func:`figure5_data` — the coupling strength matrices of
+  ``UCCSD_ansatz_8`` and ``misex1_241`` (Figure 5);
+* :func:`figure10_rows` — the (configuration, architecture, yield,
+  normalized reciprocal gate count) series of one benchmark's subfigure of
+  Figure 10;
+* :func:`format_figure10_table` — a printable table of those rows.
+
+Plotting proper is intentionally text-based (see
+:mod:`repro.visualization`); the benchmark harness prints the same series
+the paper reports rather than producing graphics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.benchmarks.library import get_benchmark
+from repro.evaluation.configs import ExperimentConfig
+from repro.evaluation.experiment import DataPoint, ExperimentResult
+from repro.profiling.profiler import profile_circuit
+
+#: The two programs whose coupling patterns the paper contrasts in Figure 5.
+FIGURE5_BENCHMARKS = ("UCCSD_ansatz_8", "misex1_241")
+
+
+def figure5_data(benchmarks: Sequence[str] = FIGURE5_BENCHMARKS) -> Dict[str, np.ndarray]:
+    """Coupling strength matrices of the Figure 5 benchmarks."""
+    data = {}
+    for name in benchmarks:
+        circuit = get_benchmark(name)
+        data[name] = profile_circuit(circuit).strength_matrix
+    return data
+
+
+def figure10_rows(result: ExperimentResult) -> List[Dict[str, object]]:
+    """The data series of one benchmark's Figure 10 subfigure, as dict rows."""
+    rows = []
+    for point in sorted(
+        result.points, key=lambda p: (p.config.value, p.num_four_qubit_buses, p.architecture_name)
+    ):
+        rows.append(
+            {
+                "benchmark": point.benchmark,
+                "config": point.config.value,
+                "architecture": point.architecture_name,
+                "qubits": point.num_qubits,
+                "connections": point.num_connections,
+                "four_qubit_buses": point.num_four_qubit_buses,
+                "yield_rate": point.yield_rate,
+                "total_gates": point.total_gates,
+                "normalized_reciprocal_gates": round(point.normalized_reciprocal_gates, 4),
+            }
+        )
+    return rows
+
+
+def format_figure10_table(result: ExperimentResult) -> str:
+    """A printable table of one benchmark's Figure 10 series."""
+    header = (
+        f"{'config':<16} {'architecture':<38} {'conn':>4} {'4Qbus':>5} "
+        f"{'yield':>10} {'gates':>7} {'norm 1/gates':>12}"
+    )
+    lines = [f"== {result.benchmark} ==", header, "-" * len(header)]
+    for row in figure10_rows(result):
+        lines.append(
+            f"{row['config']:<16} {row['architecture']:<38} {row['connections']:>4} "
+            f"{row['four_qubit_buses']:>5} {row['yield_rate']:>10.2e} {row['total_gates']:>7} "
+            f"{row['normalized_reciprocal_gates']:>12.3f}"
+        )
+    return "\n".join(lines)
+
+
+def figure10_series(
+    result: ExperimentResult, config: ExperimentConfig
+) -> Tuple[List[float], List[float]]:
+    """The (x, y) series of one configuration in one subfigure.
+
+    x is the normalized reciprocal gate count (right = better performance),
+    y is the yield rate (up = better yield), matching the paper's axes.
+    """
+    points = sorted(result.by_config(config), key=lambda p: p.normalized_reciprocal_gates)
+    xs = [point.normalized_reciprocal_gates for point in points]
+    ys = [point.yield_rate for point in points]
+    return xs, ys

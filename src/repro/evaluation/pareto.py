@@ -1,0 +1,46 @@
+"""Pareto-front utilities over (performance, yield) points.
+
+The paper's central claim is that the application-specific designs are
+*Pareto-optimal* against IBM's general-purpose baselines: for every
+baseline there is a generated design with both higher yield and equal or
+better performance.  These helpers extract and compare Pareto fronts from
+evaluation data points.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.evaluation.experiment import DataPoint
+
+
+def is_dominated(point: DataPoint, others: Iterable[DataPoint]) -> bool:
+    """True when some other point is at least as good on both axes and better on one.
+
+    "Good" means higher yield rate and fewer total gates.
+    """
+    for other in others:
+        if other is point:
+            continue
+        no_worse = other.yield_rate >= point.yield_rate and other.total_gates <= point.total_gates
+        strictly_better = (
+            other.yield_rate > point.yield_rate or other.total_gates < point.total_gates
+        )
+        if no_worse and strictly_better:
+            return True
+    return False
+
+
+def pareto_front(points: Sequence[DataPoint]) -> List[DataPoint]:
+    """The non-dominated subset, sorted by ascending total gate count."""
+    front = [point for point in points if not is_dominated(point, points)]
+    return sorted(front, key=lambda p: (p.total_gates, -p.yield_rate))
+
+
+def dominates_all(candidates: Sequence[DataPoint], baselines: Sequence[DataPoint]) -> bool:
+    """True when every baseline point is dominated by some candidate point.
+
+    This is the "better Pareto-optimal results" statement of the paper: the
+    generated series should dominate the general-purpose baselines.
+    """
+    return all(is_dominated(baseline, candidates) for baseline in baselines)

@@ -1,0 +1,45 @@
+"""Superconducting quantum processor hardware model.
+
+The hardware model mirrors Section 2.2 of the paper: physical qubits are
+placed on the nodes of a 2D lattice, connected by 2-qubit or 4-qubit
+resonator buses, and each qubit has a designed (pre-fabrication)
+frequency.  :class:`Architecture` bundles the three together and derives
+the chip coupling graph used by both the yield simulator and the qubit
+mapper.
+"""
+
+from repro.hardware.lattice import Coordinate, Lattice, Square, manhattan_distance
+from repro.hardware.bus import Bus, BusType
+from repro.hardware.architecture import Architecture
+from repro.hardware.frequency import (
+    ALLOWED_FREQUENCY_MAX_GHZ,
+    ALLOWED_FREQUENCY_MIN_GHZ,
+    FIVE_FREQUENCY_VALUES_GHZ,
+    candidate_frequencies,
+    five_frequency_scheme,
+)
+from repro.hardware.ibm import (
+    ibm_16q_2x8,
+    ibm_20q_4x5,
+    ibm_baseline,
+    ibm_baselines,
+)
+
+__all__ = [
+    "Coordinate",
+    "Lattice",
+    "Square",
+    "manhattan_distance",
+    "Bus",
+    "BusType",
+    "Architecture",
+    "ALLOWED_FREQUENCY_MIN_GHZ",
+    "ALLOWED_FREQUENCY_MAX_GHZ",
+    "FIVE_FREQUENCY_VALUES_GHZ",
+    "five_frequency_scheme",
+    "candidate_frequencies",
+    "ibm_16q_2x8",
+    "ibm_20q_4x5",
+    "ibm_baseline",
+    "ibm_baselines",
+]

@@ -1,0 +1,69 @@
+"""Resonator buses connecting physical qubits (paper Section 2.2, Figure 2)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Optional, Tuple
+
+from repro.hardware.lattice import Square
+
+
+class BusType(enum.Enum):
+    """The two bus designs considered by the paper."""
+
+    TWO_QUBIT = "two_qubit"
+    FOUR_QUBIT = "four_qubit"
+
+
+@dataclass(frozen=True)
+class Bus:
+    """A resonator connecting 2-4 nearby physical qubits.
+
+    Attributes:
+        bus_type: 2-qubit or 4-qubit bus.
+        qubits: The connected physical qubits (sorted).  A 4-qubit bus placed
+            on a square with only three occupied corners degenerates into a
+            3-qubit bus (paper Figure 7 (b)) and therefore carries 3 qubits.
+        square: For 4-qubit buses, the lattice square the bus occupies.
+    """
+
+    bus_type: BusType
+    qubits: Tuple[int, ...]
+    square: Optional[Square] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "qubits", tuple(sorted(self.qubits)))
+        if self.bus_type is BusType.TWO_QUBIT and len(self.qubits) != 2:
+            raise ValueError(f"a 2-qubit bus connects exactly 2 qubits, got {self.qubits}")
+        if self.bus_type is BusType.FOUR_QUBIT and len(self.qubits) not in (3, 4):
+            raise ValueError(
+                f"a 4-qubit bus connects 3 or 4 qubits (corner case), got {self.qubits}"
+            )
+        if self.bus_type is BusType.FOUR_QUBIT and self.square is None:
+            raise ValueError("a 4-qubit bus must record the lattice square it occupies")
+
+    @property
+    def coupled_pairs(self) -> List[Tuple[int, int]]:
+        """Every qubit pair the bus allows two-qubit gates on.
+
+        A 2-qubit bus supports its single pair.  A 4-qubit bus supports all
+        pairs among its qubits — the four side pairs plus the two diagonals
+        (paper Figure 2).
+        """
+        return [tuple(pair) for pair in combinations(self.qubits, 2)]
+
+    @property
+    def num_qubits(self) -> int:
+        return len(self.qubits)
+
+
+def two_qubit_bus(qubit_a: int, qubit_b: int) -> Bus:
+    """Convenience constructor for a 2-qubit bus."""
+    return Bus(BusType.TWO_QUBIT, (qubit_a, qubit_b))
+
+
+def four_qubit_bus(qubits: Tuple[int, ...], square: Square) -> Bus:
+    """Convenience constructor for a 4-qubit (or degenerate 3-qubit) bus."""
+    return Bus(BusType.FOUR_QUBIT, tuple(qubits), square)

@@ -1,0 +1,81 @@
+"""Qubit frequency schemes and physical constants (paper Sections 2.2, 4.3, 5.1).
+
+All frequencies are expressed in GHz.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.hardware.lattice import Coordinate
+
+#: Qubit anharmonicity delta = f12 - f01 for the typical transmon design
+#: considered by the paper (Section 2.2): -340 MHz.
+ANHARMONICITY_GHZ = -0.340
+
+#: Allowed pre-fabrication frequency band (Section 4.3): 5.00 GHz to 5.34 GHz.
+ALLOWED_FREQUENCY_MIN_GHZ = 5.00
+ALLOWED_FREQUENCY_MAX_GHZ = 5.34
+
+#: IBM's 5-frequency scheme values: an arithmetic progression from 5 GHz to
+#: 5.27 GHz (Section 5.2, Figure 9).
+FIVE_FREQUENCY_VALUES_GHZ: Tuple[float, ...] = (5.00, 5.0675, 5.135, 5.2025, 5.27)
+
+#: Default fabrication precision sigma used in the paper's evaluation
+#: (Section 5.1): 30 MHz.
+DEFAULT_SIGMA_GHZ = 0.030
+
+#: Frequency step used when enumerating candidate frequencies in the
+#: frequency-allocation subroutine (Section 4.3): 0.01 GHz.
+CANDIDATE_FREQUENCY_STEP_GHZ = 0.01
+
+
+def candidate_frequencies(step_ghz: float = CANDIDATE_FREQUENCY_STEP_GHZ) -> np.ndarray:
+    """Candidate pre-fabrication frequencies 5.00, 5.01, ..., 5.34 GHz."""
+    if step_ghz <= 0:
+        raise ValueError("frequency step must be positive")
+    count = int(round((ALLOWED_FREQUENCY_MAX_GHZ - ALLOWED_FREQUENCY_MIN_GHZ) / step_ghz)) + 1
+    return np.round(ALLOWED_FREQUENCY_MIN_GHZ + step_ghz * np.arange(count), 6)
+
+
+def five_frequency_label(node: Coordinate) -> int:
+    """IBM 5-frequency scheme label (0-4) for a lattice node.
+
+    The arrangement reproduces Figure 9: along a row the label advances by
+    one per column, and each row is offset by two relative to the row
+    below, i.e. ``label = (x + 2 * y) mod 5``.
+    """
+    x, y = node
+    return (x + 2 * y) % 5
+
+
+def five_frequency_scheme(coordinates: Dict[int, Coordinate]) -> Dict[int, float]:
+    """Assign IBM's 5-frequency scheme to a set of placed qubits.
+
+    This is used both for the ``ibm`` baseline architectures and for the
+    ``eff-5-freq`` ablation configuration, where the optimized layout keeps
+    IBM's regular frequency pattern.
+    """
+    return {
+        qubit: FIVE_FREQUENCY_VALUES_GHZ[five_frequency_label(node)]
+        for qubit, node in coordinates.items()
+    }
+
+
+def middle_frequency() -> float:
+    """The centre of the allowed band (starting point of Algorithm 3)."""
+    return round((ALLOWED_FREQUENCY_MIN_GHZ + ALLOWED_FREQUENCY_MAX_GHZ) / 2.0, 6)
+
+
+def validate_frequencies(frequencies: Dict[int, float]) -> List[str]:
+    """Return a list of violations of the allowed frequency band (empty if valid)."""
+    problems = []
+    for qubit, freq in sorted(frequencies.items()):
+        if not ALLOWED_FREQUENCY_MIN_GHZ - 1e-9 <= freq <= ALLOWED_FREQUENCY_MAX_GHZ + 1e-9:
+            problems.append(
+                f"qubit {qubit} frequency {freq:.4f} GHz outside allowed band "
+                f"[{ALLOWED_FREQUENCY_MIN_GHZ}, {ALLOWED_FREQUENCY_MAX_GHZ}] GHz"
+            )
+    return problems

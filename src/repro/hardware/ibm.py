@@ -1,0 +1,82 @@
+"""IBM general-purpose baseline architectures (paper Figure 9).
+
+The paper's ``ibm`` configuration contains four architectures:
+
+1. 16 qubits on a 2x8 lattice, 2-qubit buses only;
+2. 16 qubits on a 2x8 lattice, as many 4-qubit buses as possible (four);
+3. 20 qubits on a 4x5 lattice, 2-qubit buses only;
+4. 20 qubits on a 4x5 lattice, as many 4-qubit buses as possible (six).
+
+All four use the 5-frequency scheme (an arithmetic progression from
+5.00 GHz to 5.27 GHz arranged so adjacent qubits never share a label).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hardware.architecture import Architecture
+from repro.hardware.frequency import five_frequency_scheme
+from repro.hardware.lattice import Lattice, Square
+
+
+def _max_four_qubit_squares(lattice: Lattice) -> List[Square]:
+    """Greedy checkerboard selection of the maximum set of non-adjacent squares.
+
+    For a ``rows x cols`` rectangle the full squares form a
+    ``(rows-1) x (cols-1)`` grid and picking the squares whose origin has
+    even ``x + y`` parity yields the maximum independent set under the
+    adjacency prohibition: 4 squares on the 2x8 chip and 6 on the 4x5 chip,
+    matching Figure 9.
+    """
+    selected: List[Square] = []
+    for square in lattice.squares(min_occupied=4):
+        x, y = square.origin
+        if (x + y) % 2 == 0:
+            if all(not square.is_adjacent_to(other) for other in selected):
+                selected.append(square)
+    return selected
+
+
+def ibm_16q_2x8(use_four_qubit_buses: bool = False) -> Architecture:
+    """The 16-qubit 2x8 IBM baseline (Figure 9, designs (1) and (2))."""
+    lattice = Lattice.rectangle(2, 8)
+    squares = _max_four_qubit_squares(lattice) if use_four_qubit_buses else []
+    name = "ibm_16q_2x8_4qbus" if use_four_qubit_buses else "ibm_16q_2x8_2qbus"
+    return Architecture.from_layout(
+        name=name,
+        lattice=lattice,
+        four_qubit_squares=squares,
+        frequencies=five_frequency_scheme(lattice.coordinates()),
+    )
+
+
+def ibm_20q_4x5(use_four_qubit_buses: bool = False) -> Architecture:
+    """The 20-qubit 4x5 IBM baseline (Figure 9, designs (3) and (4))."""
+    lattice = Lattice.rectangle(4, 5)
+    squares = _max_four_qubit_squares(lattice) if use_four_qubit_buses else []
+    name = "ibm_20q_4x5_4qbus" if use_four_qubit_buses else "ibm_20q_4x5_2qbus"
+    return Architecture.from_layout(
+        name=name,
+        lattice=lattice,
+        four_qubit_squares=squares,
+        frequencies=five_frequency_scheme(lattice.coordinates()),
+    )
+
+
+def ibm_baseline(index: int) -> Architecture:
+    """The baseline architecture labeled ``(index)`` in Figure 9/10 (1-based)."""
+    builders = {
+        1: lambda: ibm_16q_2x8(use_four_qubit_buses=False),
+        2: lambda: ibm_16q_2x8(use_four_qubit_buses=True),
+        3: lambda: ibm_20q_4x5(use_four_qubit_buses=False),
+        4: lambda: ibm_20q_4x5(use_four_qubit_buses=True),
+    }
+    if index not in builders:
+        raise ValueError(f"baseline index must be 1-4, got {index}")
+    return builders[index]()
+
+
+def ibm_baselines() -> Dict[int, Architecture]:
+    """All four baseline architectures keyed by their Figure 9 label."""
+    return {index: ibm_baseline(index) for index in (1, 2, 3, 4)}

@@ -1,0 +1,194 @@
+"""Public entry point of the qubit mapping substrate.
+
+:func:`route_circuit` maps a logical circuit onto an architecture and
+returns a :class:`MappingResult` carrying the performance metric the
+paper uses throughout Section 5: the total post-mapping gate count, where
+each inserted SWAP costs three CNOTs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.hardware.architecture import Architecture
+from repro.mapping.distance import DistanceMatrix
+from repro.mapping.initial import initial_mapping
+from repro.mapping.sabre import SabreParameters, SabreRouter
+from repro.profiling.profiler import CircuitProfile, profile_circuit
+
+#: Number of CNOT gates required to implement one SWAP on hardware.
+CNOTS_PER_SWAP = 3
+
+
+@dataclass
+class MappingResult:
+    """Outcome of mapping a circuit onto an architecture.
+
+    Attributes:
+        circuit_name: Name of the mapped circuit.
+        architecture_name: Name of the target architecture.
+        original_gates: Gate count of the input circuit (all gate kinds).
+        original_two_qubit_gates: Two-qubit gate count of the input circuit.
+        num_swaps: SWAPs inserted by the router.
+        initial_mapping: The logical -> physical mapping the router started from.
+        final_mapping: The mapping after the last routed gate.
+        routed_circuit: The physical circuit including explicit swap gates.
+    """
+
+    circuit_name: str
+    architecture_name: str
+    original_gates: int
+    original_two_qubit_gates: int
+    num_swaps: int
+    initial_mapping: Dict[int, int]
+    final_mapping: Dict[int, int]
+    routed_circuit: Optional[QuantumCircuit] = None
+
+    @property
+    def total_gates(self) -> int:
+        """Total post-mapping gate count (the paper's performance metric).
+
+        Every original gate survives mapping unchanged; each inserted SWAP
+        is charged as three CNOTs.
+        """
+        return self.original_gates + CNOTS_PER_SWAP * self.num_swaps
+
+    @property
+    def total_two_qubit_gates(self) -> int:
+        """Post-mapping two-qubit gate count."""
+        return self.original_two_qubit_gates + CNOTS_PER_SWAP * self.num_swaps
+
+    @property
+    def overhead_gates(self) -> int:
+        """Gates added by routing."""
+        return CNOTS_PER_SWAP * self.num_swaps
+
+    @property
+    def overhead_ratio(self) -> float:
+        """Routing overhead relative to the original gate count."""
+        return self.overhead_gates / self.original_gates if self.original_gates else 0.0
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "circuit": self.circuit_name,
+            "architecture": self.architecture_name,
+            "original_gates": self.original_gates,
+            "num_swaps": self.num_swaps,
+            "total_gates": self.total_gates,
+            "overhead_ratio": round(self.overhead_ratio, 4),
+        }
+
+
+def route_circuit(
+    circuit: QuantumCircuit,
+    architecture: Architecture,
+    profile: Optional[CircuitProfile] = None,
+    parameters: Optional[SabreParameters] = None,
+    keep_routed_circuit: bool = True,
+) -> MappingResult:
+    """Map ``circuit`` onto ``architecture`` and report the gate-count metric.
+
+    Args:
+        circuit: Logical circuit in the CNOT + single-qubit basis.
+        architecture: Target hardware architecture.
+        profile: Optional precomputed profile (saves recomputation when the
+            caller already profiled the circuit).
+        parameters: Optional router tuning parameters.
+        keep_routed_circuit: Set to False to drop the physical circuit and
+            keep only the counts (saves memory in large sweeps).
+    """
+    profile = profile or profile_circuit(circuit)
+    distances = DistanceMatrix(architecture)
+    if not distances.is_connected():
+        raise ValueError(
+            f"architecture {architecture.name!r} has a disconnected coupling graph; "
+            "every benchmark in the paper is mapped onto connected chips"
+        )
+    mapping = initial_mapping(profile, architecture, distances)
+    router = SabreRouter(architecture, parameters)
+    routed, num_swaps, final_mapping = router.route(circuit, mapping)
+    verify_routing(circuit, routed, architecture, mapping)
+    return MappingResult(
+        circuit_name=circuit.name,
+        architecture_name=architecture.name,
+        original_gates=len(circuit),
+        original_two_qubit_gates=circuit.num_two_qubit_gates,
+        num_swaps=num_swaps,
+        initial_mapping=dict(mapping),
+        final_mapping=dict(final_mapping),
+        routed_circuit=routed if keep_routed_circuit else None,
+    )
+
+
+def verify_routing(
+    logical: QuantumCircuit,
+    routed: QuantumCircuit,
+    architecture: Architecture,
+    initial_mapping: Dict[int, int],
+) -> None:
+    """Check that a routed circuit is a faithful execution of the logical circuit.
+
+    Verifications:
+
+    * every two-qubit gate (including inserted swaps) acts on a coupled
+      physical pair;
+    * replaying the routed circuit while tracking swaps executes every
+      logical gate exactly once, on the correct logical operands, and never
+      violates the logical circuit's dependency order.
+
+    The router may execute gates on disjoint qubits in a different order
+    than the source circuit, so the replay checks against the dependency
+    DAG rather than the literal gate sequence.
+
+    Raises:
+        AssertionError: When any check fails (this guards the evaluation
+            pipeline against router bugs rather than user input errors).
+    """
+    from repro.circuit.dag import CircuitDAG, ExecutionFrontier
+
+    coupled = set()
+    for a, b in architecture.coupling_edges():
+        coupled.add((a, b))
+        coupled.add((b, a))
+
+    physical_to_logical = {p: l for l, p in initial_mapping.items()}
+    frontier = ExecutionFrontier(CircuitDAG(logical))
+    for gate in routed.gates:
+        if gate.is_two_qubit and tuple(gate.qubits) not in coupled:
+            raise AssertionError(
+                f"routed gate {gate} acts on uncoupled physical qubits "
+                f"on architecture {architecture.name!r}"
+            )
+        if gate.name == "swap":
+            phys_a, phys_b = gate.qubits
+            logical_a = physical_to_logical.get(phys_a)
+            logical_b = physical_to_logical.get(phys_b)
+            if logical_a is not None:
+                physical_to_logical[phys_b] = logical_a
+            else:
+                physical_to_logical.pop(phys_b, None)
+            if logical_b is not None:
+                physical_to_logical[phys_a] = logical_b
+            else:
+                physical_to_logical.pop(phys_a, None)
+            continue
+        recovered_operands = tuple(physical_to_logical[q] for q in gate.qubits)
+        match = None
+        for node in frontier.front_nodes():
+            if node.gate.name == gate.name and node.gate.qubits == recovered_operands \
+                    and node.gate.params == gate.params:
+                match = node
+                break
+        if match is None:
+            raise AssertionError(
+                f"routed gate {gate} (logical operands {recovered_operands}) does not match "
+                "any executable logical gate"
+            )
+        frontier.execute(match.index)
+    if not frontier.done:
+        raise AssertionError(
+            f"routed circuit left {frontier._dag.num_nodes - frontier.num_executed} "
+            "logical gates unexecuted"
+        )

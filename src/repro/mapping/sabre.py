@@ -1,0 +1,320 @@
+"""SABRE-style look-ahead SWAP routing.
+
+This reimplements the heuristic search of Li, Ding, Xie (ASPLOS 2019),
+the mapper the paper uses as its performance oracle.  Starting from an
+initial logical-to-physical mapping, the router repeatedly:
+
+1. executes every gate in the dependency front layer whose operands are
+   mapped to directly coupled physical qubits (single-qubit gates and
+   measurements are always executable);
+2. when the front layer is blocked, evaluates candidate SWAPs on physical
+   couplings adjacent to the blocked gates and applies the one minimizing
+   a distance-based cost that mixes the front layer with an *extended set*
+   of upcoming two-qubit gates, damped by a decay factor that discourages
+   ping-ponging on the same qubits.
+
+The output records the number of inserted SWAPs; the paper's performance
+metric (total post-mapping gate count) charges three CNOTs per SWAP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.circuit.dag import CircuitDAG, DAGNode, ExecutionFrontier
+from repro.circuit.gates import Gate
+from repro.hardware.architecture import Architecture
+from repro.mapping.distance import DistanceMatrix
+
+
+@dataclass(frozen=True)
+class SabreParameters:
+    """Tunable parameters of the SWAP search heuristic.
+
+    Attributes:
+        extended_set_size: How many upcoming two-qubit gates beyond the
+            front layer participate in the cost (look-ahead window).
+        extended_set_weight: Relative weight of the extended set term.
+        decay_factor: Additional cost multiplier applied to swaps touching
+            recently swapped qubits.
+        decay_reset_interval: Number of swaps after which decay factors reset.
+        max_swaps_per_gate: Safety valve: abort if the router inserts more
+            than this many swaps per two-qubit gate (indicates a
+            disconnected architecture or a heuristic livelock).
+    """
+
+    extended_set_size: int = 20
+    extended_set_weight: float = 0.5
+    decay_factor: float = 0.001
+    decay_reset_interval: int = 5
+    max_swaps_per_gate: int = 64
+
+
+class SabreRouter:
+    """Routes a circuit onto an architecture, inserting SWAPs as needed."""
+
+    def __init__(
+        self,
+        architecture: Architecture,
+        parameters: Optional[SabreParameters] = None,
+    ) -> None:
+        self.architecture = architecture
+        self.parameters = parameters or SabreParameters()
+        self.distances = DistanceMatrix(architecture)
+        self._coupled: Set[Tuple[int, int]] = set()
+        for a, b in architecture.coupling_edges():
+            self._coupled.add((a, b))
+            self._coupled.add((b, a))
+
+    # -- public API ------------------------------------------------------------
+
+    def route(
+        self,
+        circuit: QuantumCircuit,
+        initial_mapping: Dict[int, int],
+    ) -> Tuple[QuantumCircuit, int, Dict[int, int]]:
+        """Route ``circuit`` starting from ``initial_mapping``.
+
+        Args:
+            circuit: Logical circuit (CNOT + single-qubit basis).
+            initial_mapping: logical qubit -> physical qubit; must be injective
+                and cover every logical qubit of the circuit.
+
+        Returns:
+            ``(physical_circuit, num_swaps, final_mapping)`` where
+            ``physical_circuit`` contains the original gates rewritten onto
+            physical qubit indices with explicit ``swap`` gates inserted.
+        """
+        self._validate_mapping(circuit, initial_mapping)
+        dag = CircuitDAG(circuit)
+        frontier = ExecutionFrontier(dag)
+        logical_to_physical = dict(initial_mapping)
+        physical_to_logical = {p: l for l, p in logical_to_physical.items()}
+
+        max_physical = max(self.architecture.qubits) + 1
+        routed = QuantumCircuit(max_physical, name=f"{circuit.name}@{self.architecture.name}")
+        num_swaps = 0
+        swap_budget = self.parameters.max_swaps_per_gate * max(1, circuit.num_two_qubit_gates)
+        decay: Dict[int, float] = {q: 1.0 for q in self.architecture.qubits}
+        swaps_since_reset = 0
+        swaps_since_progress = 0
+        stall_threshold = int(3 * self.distances.diameter()) + 8
+
+        while not frontier.done:
+            executed_any = self._execute_ready_gates(frontier, logical_to_physical, routed)
+            if frontier.done:
+                break
+            if executed_any:
+                swaps_since_progress = 0
+                continue
+
+            blocked = [node for node in frontier.front_nodes() if node.gate.is_two_qubit]
+            if not blocked:
+                # Only non-two-qubit gates remain but none executed: impossible,
+                # since those are always executable.
+                raise RuntimeError("router stalled with no blocked two-qubit gates")
+
+            if swaps_since_progress >= stall_threshold:
+                # The heuristic is livelocking; force progress by walking the
+                # first blocked gate's operands together along a shortest path.
+                num_swaps += self._force_route(
+                    blocked[0], logical_to_physical, physical_to_logical, routed
+                )
+                swaps_since_progress = 0
+                continue
+
+            swap = self._choose_swap(blocked, frontier, logical_to_physical, decay)
+            if swap is None:
+                raise RuntimeError(
+                    f"no useful SWAP found; architecture {self.architecture.name!r} may have a "
+                    "disconnected coupling graph"
+                )
+            self._apply_swap(swap, logical_to_physical, physical_to_logical, routed)
+            num_swaps += 1
+            swaps_since_reset += 1
+            swaps_since_progress += 1
+            for qubit in swap:
+                decay[qubit] = decay.get(qubit, 1.0) + self.parameters.decay_factor
+            if swaps_since_reset >= self.parameters.decay_reset_interval:
+                decay = {q: 1.0 for q in self.architecture.qubits}
+                swaps_since_reset = 0
+            if num_swaps > swap_budget:
+                raise RuntimeError(
+                    f"router exceeded swap budget ({swap_budget}); "
+                    "the architecture is likely not routable"
+                )
+
+        return routed, num_swaps, logical_to_physical
+
+    def _force_route(
+        self,
+        node: DAGNode,
+        logical_to_physical: Dict[int, int],
+        physical_to_logical: Dict[int, int],
+        routed: QuantumCircuit,
+    ) -> int:
+        """Move the operands of ``node`` adjacent via greedy shortest-path swaps.
+
+        Used only as a livelock escape hatch; returns the number of swaps applied.
+        """
+        logical_a, logical_b = node.gate.qubits
+        applied = 0
+        while True:
+            phys_a = logical_to_physical[logical_a]
+            phys_b = logical_to_physical[logical_b]
+            current = self.distances.distance(phys_a, phys_b)
+            if current <= 1:
+                return applied
+            step = min(
+                (n for n in self.architecture.neighbors(phys_a)
+                 if self.distances.distance(n, phys_b) < current),
+                default=None,
+            )
+            if step is None:
+                raise RuntimeError(
+                    "cannot route gate: coupling graph is disconnected between "
+                    f"physical qubits {phys_a} and {phys_b}"
+                )
+            self._apply_swap((phys_a, step), logical_to_physical, physical_to_logical, routed)
+            applied += 1
+
+    # -- internals ----------------------------------------------------------------
+
+    def _validate_mapping(self, circuit: QuantumCircuit, mapping: Dict[int, int]) -> None:
+        physical = set(self.architecture.qubits)
+        for logical in range(circuit.num_qubits):
+            if logical not in mapping:
+                raise ValueError(f"initial mapping misses logical qubit {logical}")
+            if mapping[logical] not in physical:
+                raise ValueError(
+                    f"logical qubit {logical} mapped to unknown physical qubit {mapping[logical]}"
+                )
+        targets = [mapping[l] for l in range(circuit.num_qubits)]
+        if len(set(targets)) != len(targets):
+            raise ValueError("initial mapping maps two logical qubits to the same physical qubit")
+
+    def _execute_ready_gates(
+        self,
+        frontier: ExecutionFrontier,
+        logical_to_physical: Dict[int, int],
+        routed: QuantumCircuit,
+    ) -> bool:
+        """Execute every currently executable gate; return True if any executed."""
+        executed_any = False
+        progress = True
+        while progress:
+            progress = False
+            for node in frontier.front_nodes():
+                if self._is_executable(node.gate, logical_to_physical):
+                    routed.append(node.gate.remap(logical_to_physical))
+                    frontier.execute(node.index)
+                    executed_any = True
+                    progress = True
+        return executed_any
+
+    def _is_executable(self, gate: Gate, logical_to_physical: Dict[int, int]) -> bool:
+        if not gate.is_two_qubit:
+            return True
+        a, b = gate.qubits
+        return (logical_to_physical[a], logical_to_physical[b]) in self._coupled
+
+    def _choose_swap(
+        self,
+        blocked: Sequence[DAGNode],
+        frontier: ExecutionFrontier,
+        logical_to_physical: Dict[int, int],
+        decay: Dict[int, float],
+    ) -> Optional[Tuple[int, int]]:
+        """The candidate SWAP minimizing the look-ahead distance cost."""
+        involved_physical = set()
+        for node in blocked:
+            for logical in node.gate.qubits:
+                involved_physical.add(logical_to_physical[logical])
+        candidates = [
+            (a, b)
+            for a, b in self.architecture.coupling_edges()
+            if a in involved_physical or b in involved_physical
+        ]
+        if not candidates:
+            return None
+
+        extended = frontier.lookahead_nodes(self.parameters.extended_set_size)
+        physical_to_logical = {p: l for l, p in logical_to_physical.items()}
+
+        best_swap = None
+        best_score = None
+        baseline_front = self._front_cost(blocked, logical_to_physical)
+        for swap in candidates:
+            trial = dict(logical_to_physical)
+            self._swap_mapping(swap, trial, physical_to_logical)
+            front_cost = self._front_cost(blocked, trial)
+            if front_cost >= baseline_front and len(candidates) > 1:
+                # A swap that does not help the front layer at all is only
+                # considered if nothing else is available.
+                pass
+            extended_cost = self._front_cost(extended, trial) if extended else 0.0
+            score = front_cost / max(1, len(blocked))
+            if extended:
+                score += self.parameters.extended_set_weight * extended_cost / len(extended)
+            score *= max(decay.get(swap[0], 1.0), decay.get(swap[1], 1.0))
+            key = (score, swap)
+            if best_score is None or key < best_score:
+                best_score = key
+                best_swap = swap
+        return best_swap
+
+    def _front_cost(
+        self, nodes: Sequence[DAGNode], logical_to_physical: Dict[int, int]
+    ) -> float:
+        cost = 0.0
+        for node in nodes:
+            if not node.gate.is_two_qubit:
+                continue
+            a, b = node.gate.qubits
+            cost += self.distances.distance(logical_to_physical[a], logical_to_physical[b])
+        return cost
+
+    @staticmethod
+    def _swap_mapping(
+        swap: Tuple[int, int],
+        logical_to_physical: Dict[int, int],
+        physical_to_logical: Dict[int, int],
+    ) -> None:
+        """Apply ``swap`` (a pair of physical qubits) to a trial mapping in place.
+
+        ``physical_to_logical`` here is the *pre-swap* inverse and is only read,
+        never mutated, so the caller can reuse it across trial swaps.
+        """
+        phys_a, phys_b = swap
+        logical_a = physical_to_logical.get(phys_a)
+        logical_b = physical_to_logical.get(phys_b)
+        if logical_a is not None:
+            logical_to_physical[logical_a] = phys_b
+        if logical_b is not None:
+            logical_to_physical[logical_b] = phys_a
+
+    def _apply_swap(
+        self,
+        swap: Tuple[int, int],
+        logical_to_physical: Dict[int, int],
+        physical_to_logical: Dict[int, int],
+        routed: QuantumCircuit,
+    ) -> None:
+        phys_a, phys_b = swap
+        logical_a = physical_to_logical.get(phys_a)
+        logical_b = physical_to_logical.get(phys_b)
+        routed.append(Gate("swap", (phys_a, phys_b)))
+        if logical_a is not None:
+            logical_to_physical[logical_a] = phys_b
+        if logical_b is not None:
+            logical_to_physical[logical_b] = phys_a
+        if logical_a is not None:
+            physical_to_logical[phys_b] = logical_a
+        else:
+            physical_to_logical.pop(phys_b, None)
+        if logical_b is not None:
+            physical_to_logical[phys_a] = logical_b
+        else:
+            physical_to_logical.pop(phys_a, None)

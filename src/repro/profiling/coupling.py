@@ -1,0 +1,79 @@
+"""Coupling strength matrix and coupling degree list (paper Section 3.1).
+
+These functions implement exactly the profiling procedure illustrated by
+Figure 4 of the paper: single-qubit gates, initialization, and
+measurements are ignored; each two-qubit gate adds one to the symmetric
+coupling strength matrix; the coupling degree of a qubit is the sum of
+the weights of its incident edges in the logical coupling graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.circuit.circuit import QuantumCircuit
+
+
+def coupling_strength_matrix(circuit: QuantumCircuit) -> np.ndarray:
+    """The symmetric matrix of two-qubit gate counts per logical qubit pair.
+
+    Entry ``(i, j)`` is the number of two-qubit gate instances acting on
+    logical qubits ``i`` and ``j`` (regardless of which is the control).
+    The diagonal is zero.
+    """
+    n = circuit.num_qubits
+    matrix = np.zeros((n, n), dtype=np.int64)
+    for gate in circuit.gates:
+        if gate.is_two_qubit:
+            a, b = gate.qubits
+            matrix[a, b] += 1
+            matrix[b, a] += 1
+    return matrix
+
+
+def coupling_degrees(circuit: QuantumCircuit) -> np.ndarray:
+    """Per-qubit coupling degree: total number of two-qubit gates on each qubit."""
+    return coupling_strength_matrix(circuit).sum(axis=1)
+
+
+def coupling_degree_list(circuit: QuantumCircuit) -> List[Tuple[int, int]]:
+    """Qubits sorted by coupling degree, descending (paper Figure 4 (d)).
+
+    Returns:
+        A list of ``(qubit_index, coupling_degree)`` pairs.  Ties are broken
+        by qubit index so the ordering is deterministic.
+    """
+    degrees = coupling_degrees(circuit)
+    order = sorted(range(circuit.num_qubits), key=lambda q: (-int(degrees[q]), q))
+    return [(q, int(degrees[q])) for q in order]
+
+
+def coupling_graph(circuit: QuantumCircuit) -> nx.Graph:
+    """The logical coupling graph (paper Figure 4 (b)).
+
+    Vertices are logical qubits; an edge exists when at least one two-qubit
+    gate acts on the pair, weighted by the number of such gates.  Qubits
+    with no two-qubit gates still appear as isolated vertices.
+    """
+    matrix = coupling_strength_matrix(circuit)
+    graph = nx.Graph()
+    graph.add_nodes_from(range(circuit.num_qubits))
+    for i in range(circuit.num_qubits):
+        for j in range(i + 1, circuit.num_qubits):
+            if matrix[i, j] > 0:
+                graph.add_edge(i, j, weight=int(matrix[i, j]))
+    return graph
+
+
+def edge_weights(circuit: QuantumCircuit) -> Dict[Tuple[int, int], int]:
+    """Dictionary of ``(i, j) -> weight`` with ``i < j`` for coupled pairs only."""
+    matrix = coupling_strength_matrix(circuit)
+    weights: Dict[Tuple[int, int], int] = {}
+    for i in range(circuit.num_qubits):
+        for j in range(i + 1, circuit.num_qubits):
+            if matrix[i, j] > 0:
+                weights[(i, j)] = int(matrix[i, j])
+    return weights

@@ -1,0 +1,98 @@
+"""Coupling-pattern classification.
+
+Section 3.2 of the paper observes that different program families exhibit
+distinct two-qubit gate patterns — chains (UCCSD, Ising), uniform
+all-to-all weights (QFT), and clustered/irregular patterns (reversible
+arithmetic).  This module provides a lightweight classifier over the
+coupling strength matrix.  The classification is not used by the design
+flow itself (which consumes raw weights), but it powers reporting, the
+special-case analysis of ``ising_model`` and ``qft`` in Section 5, and
+several tests.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.profiling.profiler import CircuitProfile
+
+
+class CouplingPattern(enum.Enum):
+    """Qualitative shape of a program's logical coupling graph."""
+
+    CHAIN = "chain"
+    UNIFORM = "uniform"
+    CLUSTERED = "clustered"
+    SPARSE = "sparse"
+    EMPTY = "empty"
+
+
+def classify_pattern(profile: CircuitProfile) -> CouplingPattern:
+    """Classify the coupling pattern of a profiled circuit.
+
+    Rules (checked in order):
+
+    * no two-qubit gates at all -> ``EMPTY``;
+    * every coupled pair has identical strength and most pairs are coupled
+      -> ``UNIFORM`` (the qft case);
+    * the coupling graph is a path once weak edges are dropped -> ``CHAIN``
+      (ising / UCCSD case);
+    * fewer than half of the possible pairs are coupled -> ``SPARSE``;
+    * otherwise -> ``CLUSTERED``.
+    """
+    matrix = profile.strength_matrix
+    n = profile.num_qubits
+    weights = matrix[np.triu_indices(n, k=1)]
+    nonzero = weights[weights > 0]
+    if nonzero.size == 0:
+        return CouplingPattern.EMPTY
+
+    total_pairs = n * (n - 1) // 2
+    coupled_fraction = nonzero.size / total_pairs
+
+    if np.all(nonzero == nonzero[0]) and coupled_fraction > 0.9:
+        return CouplingPattern.UNIFORM
+
+    if _strong_subgraph_is_path(matrix):
+        return CouplingPattern.CHAIN
+
+    if coupled_fraction < 0.5:
+        return CouplingPattern.SPARSE
+    return CouplingPattern.CLUSTERED
+
+
+def _strong_subgraph_is_path(matrix: np.ndarray, strong_fraction: float = 0.5) -> bool:
+    """True when the edges carrying most of the weight form a simple path.
+
+    An edge is *strong* when its weight is at least ``strong_fraction`` of
+    the maximum pairwise weight.  A path over ``n`` qubits has ``n - 1``
+    strong edges, every vertex has strong-degree <= 2, and the strong
+    subgraph is connected over the vertices it touches.
+    """
+    n = matrix.shape[0]
+    threshold = matrix.max() * strong_fraction
+    strong = matrix >= threshold
+    np.fill_diagonal(strong, False)
+
+    degrees = strong.sum(axis=1)
+    touched = np.flatnonzero(degrees > 0)
+    if touched.size == 0:
+        return False
+    if np.any(degrees > 2):
+        return False
+    num_edges = int(strong[np.triu_indices(n, k=1)].sum())
+    if num_edges != touched.size - 1:
+        return False
+    # Connectivity check via BFS over the strong subgraph.
+    visited = {int(touched[0])}
+    frontier = [int(touched[0])]
+    while frontier:
+        current = frontier.pop()
+        for neighbor in np.flatnonzero(strong[current]):
+            neighbor = int(neighbor)
+            if neighbor not in visited:
+                visited.add(neighbor)
+                frontier.append(neighbor)
+    return len(visited) == touched.size

@@ -1,0 +1,5 @@
+"""Small shared utilities (deterministic RNG helpers, validation)."""
+
+from repro.utils.rng import deterministic_rng, seed_for
+
+__all__ = ["deterministic_rng", "seed_for"]

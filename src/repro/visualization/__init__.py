@@ -1,0 +1,20 @@
+"""Text-based visualization of architectures, coupling matrices, and Pareto data.
+
+Everything renders to plain strings so results can be inspected in a
+terminal, embedded in logs, and asserted on in tests without a plotting
+dependency.
+"""
+
+from repro.visualization.ascii_art import (
+    render_architecture,
+    render_coupling_matrix,
+    render_lattice,
+)
+from repro.visualization.pareto_plot import render_pareto_scatter
+
+__all__ = [
+    "render_lattice",
+    "render_architecture",
+    "render_coupling_matrix",
+    "render_pareto_scatter",
+]

@@ -1,0 +1,73 @@
+"""ASCII rendering of lattices, architectures, and coupling matrices."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hardware.architecture import Architecture
+from repro.hardware.bus import BusType
+from repro.hardware.lattice import Lattice
+
+
+def render_lattice(lattice: Lattice) -> str:
+    """Draw the occupied lattice nodes as a grid of qubit ids.
+
+    The lattice is translated so its bounding box starts at the origin;
+    empty nodes are shown as dots.  The y axis grows upward, matching the
+    coordinate convention of the design flow.
+    """
+    if lattice.num_qubits == 0:
+        return "(empty lattice)"
+    normalized = lattice.normalized()
+    (_, _), (max_x, max_y) = normalized.bounding_box()
+    width = max(3, len(str(max(normalized.qubits))) + 1)
+    rows = []
+    for y in range(max_y, -1, -1):
+        cells = []
+        for x in range(0, max_x + 1):
+            qubit = normalized.qubit_at((x, y))
+            cells.append(f"q{qubit}".rjust(width) if qubit is not None else ".".rjust(width))
+        rows.append(" ".join(cells))
+    return "\n".join(rows)
+
+
+def render_architecture(architecture: Architecture) -> str:
+    """Draw an architecture: the lattice, its buses, and its frequency plan."""
+    lines = [f"Architecture: {architecture.name}"]
+    lines.append(
+        f"  {architecture.num_qubits} qubits, {architecture.num_connections()} couplings, "
+        f"{len(architecture.four_qubit_buses())} four-qubit buses"
+    )
+    lines.append(render_lattice(architecture.lattice))
+    if architecture.four_qubit_buses():
+        squares = ", ".join(
+            str(bus.square.origin) for bus in architecture.four_qubit_buses()
+        )
+        lines.append(f"  4-qubit bus squares: {squares}")
+    if architecture.frequencies:
+        freq_text = ", ".join(
+            f"q{qubit}={architecture.frequencies[qubit]:.2f}"
+            for qubit in architecture.qubits
+        )
+        lines.append(f"  frequencies (GHz): {freq_text}")
+    return "\n".join(lines)
+
+
+def render_coupling_matrix(matrix: np.ndarray, max_width: int = 5) -> str:
+    """Render a coupling strength matrix as an aligned integer grid.
+
+    Mirrors the style of the paper's Figure 5 heat-map annotations.
+    """
+    matrix = np.asarray(matrix)
+    n = matrix.shape[0]
+    cell = max(max_width, len(str(int(matrix.max()))) + 1) if matrix.size else max_width
+    header = " " * cell + "".join(f"q{j}".rjust(cell) for j in range(n))
+    rows = [header]
+    for i in range(n):
+        row = f"q{i}".rjust(cell) + "".join(
+            f"{int(matrix[i, j])}".rjust(cell) for j in range(n)
+        )
+        rows.append(row)
+    return "\n".join(rows)

@@ -1,0 +1,64 @@
+"""Text scatter plot of yield vs normalized reciprocal gate count (Figure 10 style)."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+from repro.evaluation.experiment import DataPoint, ExperimentResult
+
+#: One-character markers per configuration, mirroring the Figure 10 legend.
+_MARKERS = {
+    "ibm": "#",
+    "eff-full": "o",
+    "eff-rd-bus": "x",
+    "eff-5-freq": "+",
+    "eff-layout-only": "*",
+}
+
+
+def render_pareto_scatter(
+    result: ExperimentResult,
+    width: int = 64,
+    height: int = 20,
+    min_yield: float = 1e-5,
+) -> str:
+    """Draw one benchmark's subfigure of Figure 10 as an ASCII scatter plot.
+
+    The X axis is the normalized reciprocal gate count (better performance
+    to the right); the Y axis is the yield rate on a log scale from
+    ``min_yield`` to 1, matching the paper's axes.  Points whose yield fell
+    below ``min_yield`` (including zero estimates) are clamped to the
+    bottom row.
+    """
+    if not result.points:
+        return f"== {result.benchmark} == (no data)"
+    xs = [point.normalized_reciprocal_gates for point in result.points]
+    x_min, x_max = min(xs), max(xs)
+    x_span = (x_max - x_min) or 1.0
+    log_min = math.log10(min_yield)
+
+    grid = [[" "] * width for _ in range(height)]
+    for point in result.points:
+        column = int(round((point.normalized_reciprocal_gates - x_min) / x_span * (width - 1)))
+        clamped_yield = max(point.yield_rate, min_yield)
+        row_fraction = (math.log10(clamped_yield) - log_min) / (0.0 - log_min)
+        row = (height - 1) - int(round(row_fraction * (height - 1)))
+        row = min(max(row, 0), height - 1)
+        marker = _MARKERS.get(point.config.value, "?")
+        grid[row][column] = marker
+
+    lines = [f"== {result.benchmark} ==  (y: yield {min_yield:g}..1 log scale, x: norm 1/gates)"]
+    for index, row in enumerate(grid):
+        if index == 0:
+            label = "1e+00 |"
+        elif index == len(grid) - 1:
+            label = f"{min_yield:.0e} |"
+        else:
+            label = "      |"
+        lines.append(label + "".join(row))
+    lines.append("      +" + "-" * width)
+    lines.append(f"       {x_min:.2f}" + " " * (width - 12) + f"{x_max:.2f}")
+    legend = "  ".join(f"{marker}={name}" for name, marker in _MARKERS.items())
+    lines.append("       " + legend)
+    return "\n".join(lines)

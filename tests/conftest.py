@@ -1,0 +1,82 @@
+"""Shared fixtures for the test suite.
+
+Fixtures keep Monte Carlo trial counts small so the whole suite stays
+fast; correctness of the statistics themselves is covered by dedicated
+tests with larger counts where needed.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.circuit import QuantumCircuit, cx, h, measure
+from repro.collision import YieldSimulator
+from repro.design import DesignFlow
+from repro.hardware import Architecture, Lattice, ibm_16q_2x8
+from repro.profiling import profile_circuit
+
+
+@pytest.fixture
+def paper_example_circuit() -> QuantumCircuit:
+    """The 5-qubit example circuit of the paper's Figure 4.
+
+    Two-qubit gates: two between (q0, q4) and one each on (q1, q4),
+    (q2, q4), (q3, q4), (q0, q1), so the degree list is
+    q4:5, q0:3, q1:2, q2:1, q3:1.
+    """
+    circuit = QuantumCircuit(5, name="figure4_example")
+    for qubit in range(5):
+        circuit.append(h(qubit))
+    circuit.append(cx(0, 4))
+    circuit.append(cx(1, 4))
+    circuit.append(cx(0, 1))
+    circuit.append(cx(2, 4))
+    circuit.append(cx(3, 4))
+    circuit.append(cx(0, 4))
+    for qubit in range(5):
+        circuit.append(measure(qubit))
+    return circuit
+
+
+@pytest.fixture
+def line_circuit() -> QuantumCircuit:
+    """A 6-qubit circuit whose coupling graph is a simple chain."""
+    circuit = QuantumCircuit(6, name="line6")
+    for _ in range(3):
+        for qubit in range(5):
+            circuit.append(cx(qubit, qubit + 1))
+    return circuit
+
+
+@pytest.fixture
+def small_benchmark() -> QuantumCircuit:
+    """The smallest paper benchmark (7 qubits), used for end-to-end tests."""
+    return get_benchmark("sym6_145")
+
+
+@pytest.fixture
+def sym6_architecture(small_benchmark) -> Architecture:
+    """A designed architecture for the sym6 benchmark (fast settings)."""
+    from repro.design import DesignOptions
+
+    flow = DesignFlow(small_benchmark, DesignOptions(local_trials=300))
+    return flow.design(max_four_qubit_buses=1)
+
+
+@pytest.fixture
+def ibm16(scope="session") -> Architecture:
+    """IBM 16-qubit 2x8 baseline without 4-qubit buses."""
+    return ibm_16q_2x8(use_four_qubit_buses=False)
+
+
+@pytest.fixture
+def fast_simulator() -> YieldSimulator:
+    """A low-trial-count yield simulator for quick checks."""
+    return YieldSimulator(trials=1000, seed=13)
+
+
+@pytest.fixture
+def square_lattice_3x3() -> Lattice:
+    """A fully occupied 3x3 lattice."""
+    return Lattice.rectangle(3, 3)

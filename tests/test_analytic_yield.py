@@ -1,0 +1,110 @@
+"""Tests for the closed-form analytic yield estimator (extension module)."""
+
+import pytest
+
+from repro.collision import (
+    YieldSimulator,
+    estimate_yield_analytic,
+    pair_collision_probability,
+    triple_collision_probability,
+)
+from repro.hardware import Architecture, Lattice, ibm_16q_2x8
+
+
+def chain_architecture(frequencies):
+    lattice = Lattice.rectangle(1, len(frequencies))
+    return Architecture.from_layout(
+        "chain", lattice, frequencies={i: f for i, f in enumerate(frequencies)}
+    )
+
+
+class TestPairProbability:
+    def test_identical_frequencies_certain_collision(self):
+        assert pair_collision_probability(5.10, 5.10, sigma_ghz=0.0) == 1.0
+
+    def test_well_separated_zero_noise_no_collision(self):
+        assert pair_collision_probability(5.05, 5.15, sigma_ghz=0.0) == 0.0
+
+    def test_probability_bounded(self):
+        for separation in (0.0, 0.05, 0.17, 0.34):
+            p = pair_collision_probability(5.0, 5.0 + separation, sigma_ghz=0.03)
+            assert 0.0 <= p <= 1.0
+
+    def test_probability_grows_with_noise(self):
+        low = pair_collision_probability(5.05, 5.15, sigma_ghz=0.01)
+        high = pair_collision_probability(5.05, 5.15, sigma_ghz=0.06)
+        assert high > low
+
+    def test_symmetric_in_arguments(self):
+        assert pair_collision_probability(5.03, 5.21) == pytest.approx(
+            pair_collision_probability(5.21, 5.03)
+        )
+
+    def test_condition2_hazard_near_170mhz(self):
+        """Separations near |delta|/2 = 170 MHz are riskier than 100 MHz ones."""
+        near_hazard = pair_collision_probability(5.00, 5.17, sigma_ghz=0.03)
+        safe = pair_collision_probability(5.00, 5.10, sigma_ghz=0.03)
+        assert near_hazard > safe
+
+
+class TestTripleProbability:
+    def test_identical_spectators_certain_collision(self):
+        assert triple_collision_probability(5.17, 5.05, 5.05, sigma_ghz=0.0) == 1.0
+
+    def test_clean_triple_zero_noise(self):
+        assert triple_collision_probability(5.17, 5.05, 5.29, sigma_ghz=0.0) == 0.0
+
+    def test_symmetric_in_spectators(self):
+        assert triple_collision_probability(5.2, 5.05, 5.3) == pytest.approx(
+            triple_collision_probability(5.2, 5.3, 5.05)
+        )
+
+    def test_condition7_hazard(self):
+        """Both spectators 170 MHz below the centre triggers the sum condition."""
+        hazard = triple_collision_probability(5.30, 5.13, 5.13, sigma_ghz=0.0)
+        assert hazard == 1.0
+
+
+class TestAnalyticEstimate:
+    def test_requires_frequencies(self):
+        bare = Architecture.from_layout("bare", Lattice.rectangle(1, 3))
+        with pytest.raises(ValueError):
+            estimate_yield_analytic(bare)
+
+    def test_perfect_design_zero_noise(self):
+        arch = chain_architecture([5.05, 5.17, 5.29])
+        estimate = estimate_yield_analytic(arch, sigma_ghz=0.0)
+        assert estimate.yield_rate == 1.0
+
+    def test_reports_per_pair_probabilities(self):
+        arch = chain_architecture([5.05, 5.17, 5.29])
+        estimate = estimate_yield_analytic(arch, sigma_ghz=0.03)
+        assert set(estimate.pair_failure_probabilities) == {(0, 1), (1, 2)}
+        assert set(estimate.triple_failure_probabilities) == {(1, 0, 2)}
+        worst_pair, probability = estimate.worst_pair()
+        assert worst_pair in {(0, 1), (1, 2)}
+        assert 0.0 <= probability <= 1.0
+
+    def test_agrees_with_monte_carlo_on_chain(self):
+        arch = chain_architecture([5.04, 5.16, 5.28, 5.08, 5.20])
+        analytic = estimate_yield_analytic(arch, sigma_ghz=0.03).yield_rate
+        monte_carlo = YieldSimulator(trials=40_000, sigma_ghz=0.03, seed=3).estimate(arch)
+        # The independence approximation carries a small bias on top of the
+        # Monte Carlo sampling error; a 0.03 absolute tolerance covers both.
+        assert analytic == pytest.approx(monte_carlo.yield_rate, abs=0.03)
+
+    def test_agrees_with_monte_carlo_on_ibm_baseline(self):
+        arch = ibm_16q_2x8(use_four_qubit_buses=False)
+        analytic = estimate_yield_analytic(arch, sigma_ghz=0.03).yield_rate
+        monte_carlo = YieldSimulator(trials=40_000, sigma_ghz=0.03, seed=5).estimate(arch)
+        # Independence approximation: require same order of magnitude and
+        # small absolute error (yields here are ~1e-2).
+        assert analytic == pytest.approx(monte_carlo.yield_rate, abs=0.01)
+
+    def test_monotone_in_sigma(self):
+        arch = chain_architecture([5.04, 5.16, 5.28])
+        yields = [
+            estimate_yield_analytic(arch, sigma_ghz=s).yield_rate
+            for s in (0.01, 0.03, 0.06, 0.10)
+        ]
+        assert yields == sorted(yields, reverse=True)

@@ -1,0 +1,172 @@
+"""Tests for the benchmark circuit generators."""
+
+import pytest
+
+from repro.benchmarks import (
+    BENCHMARK_NAMES,
+    ReversibleSpec,
+    benchmark_info,
+    benchmark_suite,
+    get_benchmark,
+    ising_model_circuit,
+    qft_circuit,
+    reversible_circuit,
+    uccsd_ansatz_circuit,
+)
+from repro.circuit.gates import ONE_QUBIT_GATES
+from repro.profiling import profile_circuit
+
+#: Qubit counts published in the paper's Figure 10 captions.
+PAPER_QUBIT_COUNTS = {
+    "adr4_197": 13,
+    "rd84_142": 15,
+    "misex1_241": 15,
+    "square_root_7": 15,
+    "radd_250": 13,
+    "cm152a_212": 12,
+    "dc1_220": 11,
+    "z4_268": 11,
+    "sym6_145": 7,
+    "UCCSD_ansatz_8": 8,
+    "ising_model_16": 16,
+    "qft_16": 16,
+}
+
+
+def in_basis(circuit):
+    """True when the circuit contains only CNOTs, single-qubit gates, and measurements."""
+    return all(
+        g.name in ONE_QUBIT_GATES or g.name in ("cx", "measure", "barrier") for g in circuit
+    )
+
+
+class TestLibrary:
+    def test_twelve_benchmarks(self):
+        assert len(BENCHMARK_NAMES) == 12
+
+    @pytest.mark.parametrize("name", list(PAPER_QUBIT_COUNTS))
+    def test_qubit_counts_match_paper(self, name):
+        assert get_benchmark(name).num_qubits == PAPER_QUBIT_COUNTS[name]
+
+    @pytest.mark.parametrize("name", list(PAPER_QUBIT_COUNTS))
+    def test_benchmarks_in_cnot_basis(self, name):
+        assert in_basis(get_benchmark(name))
+
+    @pytest.mark.parametrize("name", list(PAPER_QUBIT_COUNTS))
+    def test_benchmarks_are_deterministic(self, name):
+        assert get_benchmark(name).gates == get_benchmark(name).gates
+
+    @pytest.mark.parametrize("name", list(PAPER_QUBIT_COUNTS))
+    def test_benchmarks_have_two_qubit_gates(self, name):
+        assert get_benchmark(name).num_two_qubit_gates > 0
+
+    def test_case_insensitive_lookup(self):
+        assert get_benchmark("QFT_16").name == "qft_16"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(KeyError):
+            get_benchmark("not_a_benchmark")
+
+    def test_benchmark_info(self):
+        info = benchmark_info("misex1_241")
+        assert info.num_qubits == 15
+        assert info.synthetic
+        assert not benchmark_info("qft_16").synthetic
+
+    def test_benchmark_suite_subset(self):
+        suite = benchmark_suite(["qft_16", "sym6_145"])
+        assert set(suite) == {"qft_16", "sym6_145"}
+
+    def test_benchmark_suite_full(self):
+        assert len(benchmark_suite()) == 12
+
+
+class TestQft:
+    def test_uniform_weight_two(self):
+        profile = profile_circuit(qft_circuit(6))
+        for i in range(6):
+            for j in range(i + 1, 6):
+                assert profile.strength(i, j) == 2
+
+    def test_two_qubit_gate_count(self):
+        n = 8
+        circuit = qft_circuit(n, include_measurements=False)
+        assert circuit.num_two_qubit_gates == n * (n - 1)
+
+    def test_measurement_flag(self):
+        assert qft_circuit(4, include_measurements=False).num_measurements == 0
+        assert qft_circuit(4, include_measurements=True).num_measurements == 4
+
+    def test_undecomposed_keeps_cp_gates(self):
+        circuit = qft_circuit(4, decomposed=False)
+        assert any(g.name == "cp" for g in circuit)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            qft_circuit(0)
+
+
+class TestIsing:
+    def test_chain_coupling_only(self):
+        profile = profile_circuit(ising_model_circuit(10))
+        assert all(j == i + 1 for i, j in profile.coupled_pairs())
+
+    def test_uniform_chain_weights(self):
+        profile = profile_circuit(ising_model_circuit(10, trotter_steps=4))
+        weights = {profile.strength(i, i + 1) for i in range(9)}
+        assert weights == {8}  # 2 CNOTs per ZZ per step * 4 steps
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            ising_model_circuit(1)
+        with pytest.raises(ValueError):
+            ising_model_circuit(4, trotter_steps=0)
+
+
+class TestUccsd:
+    def test_chain_weights_dominate(self):
+        profile = profile_circuit(uccsd_ansatz_circuit(8))
+        adjacent = min(profile.strength(i, i + 1) for i in range(7))
+        non_adjacent = max(
+            profile.strength(i, j) for i in range(8) for j in range(i + 2, 8)
+        )
+        assert adjacent > non_adjacent
+
+    def test_hartree_fock_preparation_present(self):
+        circuit = uccsd_ansatz_circuit(8, num_occupied=4)
+        x_gates = [g for g in circuit.gates[:4] if g.name == "x"]
+        assert len(x_gates) == 4
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            uccsd_ansatz_circuit(2)
+        with pytest.raises(ValueError):
+            uccsd_ansatz_circuit(8, num_occupied=8)
+
+
+class TestReversible:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            ReversibleSpec(name="bad", num_qubits=4, num_inputs=4, num_terms=10)
+        with pytest.raises(ValueError):
+            ReversibleSpec(name="bad", num_qubits=4, num_inputs=2, num_terms=0)
+
+    def test_same_spec_gives_same_circuit(self):
+        spec = ReversibleSpec(name="test", num_qubits=6, num_inputs=3, num_terms=20)
+        assert reversible_circuit(spec).gates == reversible_circuit(spec).gates
+
+    def test_different_names_give_different_circuits(self):
+        spec_a = ReversibleSpec(name="a", num_qubits=6, num_inputs=3, num_terms=20)
+        spec_b = ReversibleSpec(name="b", num_qubits=6, num_inputs=3, num_terms=20)
+        assert reversible_circuit(spec_a).gates != reversible_circuit(spec_b).gates
+
+    def test_measurements_on_output_qubits_only(self):
+        spec = ReversibleSpec(name="m", num_qubits=6, num_inputs=3, num_terms=10)
+        circuit = reversible_circuit(spec)
+        measured = {g.qubits[0] for g in circuit if g.name == "measure"}
+        assert measured == {3, 4, 5}
+
+    def test_clustered_pattern_not_uniform(self):
+        profile = profile_circuit(get_benchmark("misex1_241"))
+        strengths = [profile.strength(a, b) for a, b in profile.coupled_pairs()]
+        assert max(strengths) > 3 * (sum(strengths) / len(strengths))

@@ -1,0 +1,43 @@
+"""Tests for bus objects."""
+
+import pytest
+
+from repro.hardware.bus import Bus, BusType, four_qubit_bus, two_qubit_bus
+from repro.hardware.lattice import Square
+
+
+class TestTwoQubitBus:
+    def test_coupled_pairs(self):
+        bus = two_qubit_bus(3, 1)
+        assert bus.coupled_pairs == [(1, 3)]
+        assert bus.num_qubits == 2
+
+    def test_qubits_sorted(self):
+        assert two_qubit_bus(5, 2).qubits == (2, 5)
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Bus(BusType.TWO_QUBIT, (0, 1, 2))
+
+
+class TestFourQubitBus:
+    def test_full_square_couples_six_pairs(self):
+        bus = four_qubit_bus((0, 1, 2, 3), Square((0, 0)))
+        assert len(bus.coupled_pairs) == 6
+
+    def test_three_qubit_corner_case_couples_three_pairs(self):
+        bus = four_qubit_bus((0, 1, 2), Square((0, 0)))
+        assert len(bus.coupled_pairs) == 3
+
+    def test_requires_square(self):
+        with pytest.raises(ValueError):
+            Bus(BusType.FOUR_QUBIT, (0, 1, 2, 3))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Bus(BusType.FOUR_QUBIT, (0, 1), square=Square((0, 0)))
+
+    def test_pairs_cover_diagonals(self):
+        bus = four_qubit_bus((4, 5, 8, 9), Square((0, 0)))
+        assert (4, 9) in bus.coupled_pairs
+        assert (5, 8) in bus.coupled_pairs

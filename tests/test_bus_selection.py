@@ -1,0 +1,122 @@
+"""Tests for the 4-qubit bus selection subroutine (Algorithm 2)."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit, cx
+from repro.design import (
+    cross_coupling_weights,
+    design_layout,
+    select_four_qubit_buses,
+    select_random_buses,
+)
+from repro.hardware.lattice import Lattice, Square
+from repro.profiling import profile_circuit
+
+
+@pytest.fixture
+def grid_circuit():
+    """A 9-qubit circuit with heavy coupling on one diagonal of a 3x3 grid layout.
+
+    The circuit is designed so that, after the standard row-major placement
+    on a 3x3 grid, the square at (0, 0) has a much larger cross-coupling
+    weight than any other square.
+    """
+    circuit = QuantumCircuit(9, name="grid9")
+    # Strong diagonal coupling between q0 and q4 (diagonal of square (0,0)).
+    for _ in range(10):
+        circuit.append(cx(0, 4))
+    # Mild coupling elsewhere.
+    circuit.append(cx(1, 2))
+    circuit.append(cx(5, 7))
+    circuit.append(cx(2, 4))
+    return circuit
+
+
+@pytest.fixture
+def grid_lattice():
+    return Lattice.rectangle(3, 3)
+
+
+class TestCrossCouplingWeights:
+    def test_weights_cover_all_candidate_squares(self, grid_circuit, grid_lattice):
+        weights = cross_coupling_weights(grid_lattice, profile_circuit(grid_circuit))
+        assert set(weights) == {(0, 0), (1, 0), (0, 1), (1, 1)}
+
+    def test_diagonal_weight_counted(self, grid_circuit, grid_lattice):
+        weights = cross_coupling_weights(grid_lattice, profile_circuit(grid_circuit))
+        # Square (0,0) has corners q0,q1,q3,q4: diagonals (0,4) weight 10 and (1,3) weight 0.
+        assert weights[(0, 0)] == 10
+
+    def test_three_qubit_square_counts_single_diagonal(self):
+        lattice = Lattice.from_coordinates({0: (0, 0), 1: (1, 0), 2: (0, 1)})
+        circuit = QuantumCircuit(3).extend([cx(1, 2), cx(1, 2), cx(0, 1)])
+        weights = cross_coupling_weights(lattice, profile_circuit(circuit))
+        # The occupied diagonal is (q1, q2) with weight 2.
+        assert weights[(0, 0)] == 2
+
+
+class TestFilteredWeightSelection:
+    def test_selects_highest_weight_square(self, grid_circuit, grid_lattice):
+        result = select_four_qubit_buses(grid_lattice, profile_circuit(grid_circuit), 1)
+        assert result.selected_squares[0].origin == (0, 0)
+
+    def test_respects_prohibited_condition(self, grid_circuit, grid_lattice):
+        result = select_four_qubit_buses(grid_lattice, profile_circuit(grid_circuit), None)
+        squares = result.selected_squares
+        for i in range(len(squares)):
+            for j in range(i + 1, len(squares)):
+                assert not squares[i].is_adjacent_to(squares[j])
+
+    def test_max_buses_limits_selection(self, grid_circuit, grid_lattice):
+        profile = profile_circuit(grid_circuit)
+        assert len(select_four_qubit_buses(grid_lattice, profile, 1).selected_squares) == 1
+        assert len(select_four_qubit_buses(grid_lattice, profile, 0).selected_squares) == 0
+
+    def test_selection_stops_when_no_square_available(self, grid_circuit, grid_lattice):
+        result = select_four_qubit_buses(grid_lattice, profile_circuit(grid_circuit), 100)
+        # On a 3x3 grid at most 2 non-adjacent squares exist (diagonal corners).
+        assert len(result.selected_squares) <= 2
+
+    def test_max_available_on_rectangles(self):
+        profile = profile_circuit(QuantumCircuit(16))
+        result = select_four_qubit_buses(Lattice.rectangle(2, 8), profile, None)
+        assert result.max_available == 4
+        result20 = select_four_qubit_buses(Lattice.rectangle(4, 5), profile_circuit(QuantumCircuit(20)), None)
+        assert result20.max_available == 6
+
+    def test_negative_bus_count_rejected(self, grid_circuit, grid_lattice):
+        from repro.design.flow import DesignFlow
+
+        flow = DesignFlow(grid_circuit)
+        with pytest.raises(ValueError):
+            flow.design(max_four_qubit_buses=-1)
+
+    def test_deterministic(self, grid_circuit, grid_lattice):
+        profile = profile_circuit(grid_circuit)
+        first = select_four_qubit_buses(grid_lattice, profile, None).selected_squares
+        second = select_four_qubit_buses(grid_lattice, profile, None).selected_squares
+        assert first == second
+
+
+class TestRandomSelection:
+    def test_random_selection_respects_prohibition(self, grid_lattice):
+        result = select_random_buses(grid_lattice, 5, seed=3)
+        squares = result.selected_squares
+        for i in range(len(squares)):
+            for j in range(i + 1, len(squares)):
+                assert not squares[i].is_adjacent_to(squares[j])
+
+    def test_random_selection_is_seeded(self, grid_lattice):
+        first = select_random_buses(grid_lattice, 2, seed=5).selected_squares
+        second = select_random_buses(grid_lattice, 2, seed=5).selected_squares
+        assert first == second
+
+    def test_random_selection_count(self, grid_lattice):
+        assert len(select_random_buses(grid_lattice, 1, seed=1).selected_squares) == 1
+
+    def test_different_seeds_can_differ(self, grid_lattice):
+        picks = {
+            tuple(sq.origin for sq in select_random_buses(grid_lattice, 1, seed=s).selected_squares)
+            for s in range(10)
+        }
+        assert len(picks) > 1

@@ -1,0 +1,155 @@
+"""Unit tests for the QuantumCircuit container."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit, barrier, cx, h, measure, rz, swap
+from repro.circuit.gates import Gate
+
+
+class TestConstruction:
+    def test_empty_circuit(self):
+        circuit = QuantumCircuit(3)
+        assert circuit.num_qubits == 3
+        assert len(circuit) == 0
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            QuantumCircuit(0)
+
+    def test_append_returns_self_for_chaining(self):
+        circuit = QuantumCircuit(2)
+        assert circuit.append(h(0)).append(cx(0, 1)) is circuit
+        assert len(circuit) == 2
+
+    def test_append_rejects_out_of_range_qubit(self):
+        circuit = QuantumCircuit(2)
+        with pytest.raises(ValueError):
+            circuit.append(cx(0, 2))
+
+    def test_extend(self):
+        circuit = QuantumCircuit(3)
+        circuit.extend([h(0), cx(0, 1), cx(1, 2)])
+        assert len(circuit) == 3
+
+    def test_compose(self):
+        a = QuantumCircuit(3).extend([h(0), cx(0, 1)])
+        b = QuantumCircuit(2).extend([cx(0, 1)])
+        a.compose(b)
+        assert len(a) == 3
+
+    def test_compose_rejects_larger_circuit(self):
+        small = QuantumCircuit(2)
+        big = QuantumCircuit(5)
+        with pytest.raises(ValueError):
+            small.compose(big)
+
+    def test_copy_is_independent(self):
+        original = QuantumCircuit(2).extend([h(0)])
+        clone = original.copy()
+        clone.append(cx(0, 1))
+        assert len(original) == 1
+        assert len(clone) == 2
+
+    def test_remap_qubits(self):
+        circuit = QuantumCircuit(2).extend([cx(0, 1), h(1)])
+        remapped = circuit.remap_qubits({0: 3, 1: 4}, num_qubits=6)
+        assert remapped.num_qubits == 6
+        assert remapped.gates[0].qubits == (3, 4)
+        assert remapped.gates[1].qubits == (4,)
+
+
+class TestCounts:
+    @pytest.fixture
+    def circuit(self):
+        circuit = QuantumCircuit(3, name="counts")
+        circuit.extend([h(0), h(1), cx(0, 1), cx(1, 2), rz(0.1, 2), measure(0), measure(1)])
+        return circuit
+
+    def test_len_counts_all_gates(self, circuit):
+        assert len(circuit) == 7
+
+    def test_two_qubit_gate_count(self, circuit):
+        assert circuit.num_two_qubit_gates == 2
+
+    def test_single_qubit_gate_count(self, circuit):
+        assert circuit.num_single_qubit_gates == 3
+
+    def test_measurement_count(self, circuit):
+        assert circuit.num_measurements == 2
+
+    def test_gate_counts_histogram(self, circuit):
+        counts = circuit.gate_counts()
+        assert counts["h"] == 2
+        assert counts["cx"] == 2
+        assert counts["measure"] == 2
+
+    def test_count_gates_with_predicate(self, circuit):
+        assert circuit.count_gates(lambda g: g.name == "rz") == 1
+
+    def test_two_qubit_pairs(self, circuit):
+        assert circuit.two_qubit_pairs() == [(0, 1), (1, 2)]
+
+    def test_used_qubits(self):
+        circuit = QuantumCircuit(5).extend([cx(0, 3)])
+        assert circuit.used_qubits() == [0, 3]
+
+    def test_summary_keys(self, circuit):
+        summary = circuit.summary()
+        assert summary["num_qubits"] == 3
+        assert summary["num_two_qubit_gates"] == 2
+
+
+class TestDepth:
+    def test_depth_serial_gates(self):
+        circuit = QuantumCircuit(1).extend([h(0), h(0), h(0)])
+        assert circuit.depth() == 3
+
+    def test_depth_parallel_gates(self):
+        circuit = QuantumCircuit(2).extend([h(0), h(1)])
+        assert circuit.depth() == 1
+
+    def test_depth_mixed(self):
+        circuit = QuantumCircuit(2).extend([h(0), cx(0, 1), h(1)])
+        assert circuit.depth() == 3
+
+    def test_barrier_does_not_add_depth(self):
+        circuit = QuantumCircuit(2).extend([h(0), barrier(0, 1), h(1)])
+        assert circuit.depth() == 1
+
+    def test_two_qubit_depth_ignores_single_qubit_gates(self):
+        circuit = QuantumCircuit(3).extend([h(0), cx(0, 1), h(1), cx(1, 2), cx(0, 1)])
+        assert circuit.two_qubit_depth() == 3
+        assert circuit.depth() == 5
+
+    def test_empty_circuit_depth_zero(self):
+        assert QuantumCircuit(4).depth() == 0
+
+
+class TestEquality:
+    def test_equal_circuits(self):
+        a = QuantumCircuit(2).extend([h(0), cx(0, 1)])
+        b = QuantumCircuit(2).extend([h(0), cx(0, 1)])
+        assert a == b
+
+    def test_different_gates_not_equal(self):
+        a = QuantumCircuit(2).extend([h(0)])
+        b = QuantumCircuit(2).extend([h(1)])
+        assert a != b
+
+    def test_different_sizes_not_equal(self):
+        assert QuantumCircuit(2) != QuantumCircuit(3)
+
+    def test_comparison_with_non_circuit(self):
+        assert QuantumCircuit(2) != "not a circuit"
+
+    def test_repr_mentions_name_and_size(self):
+        circuit = QuantumCircuit(4, name="qft_test")
+        assert "qft_test" in repr(circuit)
+        assert "4" in repr(circuit)
+
+    def test_iteration_and_indexing(self):
+        gates = [h(0), cx(0, 1), swap(0, 1)]
+        circuit = QuantumCircuit(2).extend(gates)
+        assert list(circuit) == gates
+        assert circuit[1] == cx(0, 1)
+        assert isinstance(circuit.gates, tuple)

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_subcommand(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_design_defaults(self):
+        args = build_parser().parse_args(["design", "sym6_145"])
+        assert args.buses is None
+        assert args.trials == 10_000
+
+    def test_evaluate_accepts_multiple_benchmarks(self):
+        args = build_parser().parse_args(["evaluate", "sym6_145", "qft_16", "--plot"])
+        assert args.benchmarks == ["sym6_145", "qft_16"]
+        assert args.plot
+
+
+class TestCommands:
+    def test_list_outputs_all_benchmarks(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "sym6_145" in output
+        assert "qft_16" in output
+        assert "synthetic substitute" in output
+
+    def test_profile_outputs_matrix_and_degree_list(self, capsys):
+        assert main(["profile", "sym6_145"]) == 0
+        output = capsys.readouterr().out
+        assert "coupling strength matrix" in output
+        assert "coupling degree list" in output
+
+    def test_design_with_explicit_bus_count(self, capsys):
+        assert main(["design", "sym6_145", "--buses", "1", "--trials", "500"]) == 0
+        output = capsys.readouterr().out
+        assert "estimated yield" in output
+        assert "Architecture:" in output
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["profile", "nope"])

@@ -1,0 +1,142 @@
+"""Tests for the seven frequency-collision conditions (paper Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.collision.conditions import (
+    ANHARMONICITY_GHZ,
+    CollisionCondition,
+    DEFAULT_THRESHOLDS,
+    check_pair_collisions,
+    check_triple_collisions,
+    find_collisions,
+    pair_collision_mask,
+    triple_collision_mask,
+)
+
+DELTA = ANHARMONICITY_GHZ  # -0.340 GHz
+
+
+class TestPairConditions:
+    def test_condition_1_same_frequency(self):
+        assert CollisionCondition.SAME_FREQUENCY in check_pair_collisions(5.10, 5.11)
+
+    def test_condition_1_not_triggered_outside_threshold(self):
+        assert CollisionCondition.SAME_FREQUENCY not in check_pair_collisions(5.10, 5.13)
+
+    def test_condition_2_half_anharmonicity(self):
+        # f_j ~= f_k - delta/2 = f_k + 0.17
+        assert CollisionCondition.HALF_ANHARMONICITY in check_pair_collisions(5.27, 5.10)
+
+    def test_condition_2_symmetric_in_roles(self):
+        assert CollisionCondition.HALF_ANHARMONICITY in check_pair_collisions(5.10, 5.27)
+
+    def test_condition_2_narrow_threshold(self):
+        # 0.17 +- 0.004: a 10 MHz miss must not trigger.
+        assert CollisionCondition.HALF_ANHARMONICITY not in check_pair_collisions(5.28, 5.10)
+
+    def test_condition_3_full_anharmonicity(self):
+        # f_j ~= f_k + 0.34 within 25 MHz.
+        assert CollisionCondition.FULL_ANHARMONICITY in check_pair_collisions(5.44, 5.11)
+
+    def test_condition_4_above_anharmonicity(self):
+        conditions = check_pair_collisions(5.50, 5.10)
+        assert CollisionCondition.ABOVE_ANHARMONICITY in conditions
+
+    def test_no_collision_for_well_separated_pair(self):
+        assert check_pair_collisions(5.10, 5.19) == []
+
+    def test_thresholds_match_figure3(self):
+        assert DEFAULT_THRESHOLDS.condition_1_ghz == pytest.approx(0.017)
+        assert DEFAULT_THRESHOLDS.condition_2_ghz == pytest.approx(0.004)
+        assert DEFAULT_THRESHOLDS.condition_3_ghz == pytest.approx(0.025)
+        assert DEFAULT_THRESHOLDS.condition_7_ghz == pytest.approx(0.017)
+
+
+class TestTripleConditions:
+    def test_condition_5_spectators_same_frequency(self):
+        assert CollisionCondition.SPECTATOR_SAME_FREQUENCY in check_triple_collisions(
+            5.17, 5.05, 5.06
+        )
+
+    def test_condition_5_not_triggered_when_separated(self):
+        assert CollisionCondition.SPECTATOR_SAME_FREQUENCY not in check_triple_collisions(
+            5.17, 5.05, 5.12
+        )
+
+    def test_condition_6_spectator_full_anharmonicity(self):
+        assert CollisionCondition.SPECTATOR_FULL_ANHARMONICITY in check_triple_collisions(
+            5.17, 5.44, 5.10
+        )
+
+    def test_condition_7_three_qubit_sum(self):
+        # 2 f_j + delta = f_k + f_i -> choose f_i = f_k = f_j - 0.17.
+        freq_j = 5.20
+        freq_spectator = freq_j + DELTA / 2.0
+        conditions = check_triple_collisions(freq_j, freq_spectator, freq_spectator)
+        assert CollisionCondition.THREE_QUBIT_SUM in conditions
+
+    def test_condition_7_not_triggered_when_far(self):
+        assert CollisionCondition.THREE_QUBIT_SUM not in check_triple_collisions(
+            5.20, 5.25, 5.30
+        )
+
+
+class TestFindCollisions:
+    def test_detects_pair_and_triple(self):
+        frequencies = {0: 5.10, 1: 5.11, 2: 5.10}
+        collisions = find_collisions(
+            frequencies, pairs=[(0, 1), (1, 2)], triples=[(1, 0, 2)]
+        )
+        conditions = {c.condition for c in collisions}
+        assert CollisionCondition.SAME_FREQUENCY in conditions
+        assert CollisionCondition.SPECTATOR_SAME_FREQUENCY in conditions
+
+    def test_clean_assignment_has_no_collisions(self):
+        frequencies = {0: 5.05, 1: 5.17, 2: 5.29}
+        collisions = find_collisions(
+            frequencies, pairs=[(0, 1), (1, 2)], triples=[(1, 0, 2)]
+        )
+        assert collisions == []
+
+
+class TestVectorizedMasks:
+    def test_pair_mask_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        freqs = 5.0 + 0.34 * rng.random((200, 4))
+        pairs = [(0, 1), (1, 2), (2, 3)]
+        mask = pair_collision_mask(
+            freqs, np.array([p[0] for p in pairs]), np.array([p[1] for p in pairs])
+        )
+        for trial in range(freqs.shape[0]):
+            scalar = any(
+                check_pair_collisions(freqs[trial, j], freqs[trial, k]) for j, k in pairs
+            )
+            assert mask[trial] == scalar
+
+    def test_triple_mask_matches_scalar(self):
+        rng = np.random.default_rng(6)
+        freqs = 5.0 + 0.34 * rng.random((200, 4))
+        triples = [(1, 0, 2), (2, 1, 3)]
+        mask = triple_collision_mask(
+            freqs,
+            np.array([t[0] for t in triples]),
+            np.array([t[1] for t in triples]),
+            np.array([t[2] for t in triples]),
+        )
+        for trial in range(freqs.shape[0]):
+            scalar = any(
+                check_triple_collisions(freqs[trial, j], freqs[trial, i], freqs[trial, k])
+                for j, i, k in triples
+            )
+            assert mask[trial] == scalar
+
+    def test_empty_pairs_give_all_false(self):
+        freqs = np.full((10, 3), 5.1)
+        assert not pair_collision_mask(freqs, np.array([]), np.array([])).any()
+
+    def test_empty_triples_give_all_false(self):
+        freqs = np.full((10, 3), 5.1)
+        assert not triple_collision_mask(
+            freqs, np.array([]), np.array([]), np.array([])
+        ).any()

@@ -1,0 +1,107 @@
+"""Unit tests for gate decomposition into the CNOT + single-qubit basis."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.decompose import decompose_circuit, decompose_mcx, decompose_toffoli
+from repro.circuit.gates import Gate, ONE_QUBIT_GATES, cp, cx, cz, rzz, swap
+
+
+def only_basis_gates(gates):
+    """True when every gate is a CNOT or a single-qubit gate."""
+    return all(g.name == "cx" or g.name in ONE_QUBIT_GATES for g in gates)
+
+
+class TestToffoli:
+    def test_toffoli_uses_six_cnots(self):
+        gates = decompose_toffoli(0, 1, 2)
+        assert sum(1 for g in gates if g.name == "cx") == 6
+
+    def test_toffoli_only_basis_gates(self):
+        assert only_basis_gates(decompose_toffoli(0, 1, 2))
+
+    def test_toffoli_touches_exactly_three_qubits(self):
+        touched = set()
+        for gate in decompose_toffoli(3, 5, 7):
+            touched.update(gate.qubits)
+        assert touched == {3, 5, 7}
+
+
+class TestMcx:
+    def test_zero_controls_is_x(self):
+        gates = decompose_mcx([], 4)
+        assert len(gates) == 1 and gates[0].name == "x"
+
+    def test_single_control_is_cnot(self):
+        gates = decompose_mcx([1], 4)
+        assert gates == [cx(1, 4)]
+
+    def test_two_controls_is_toffoli(self):
+        assert decompose_mcx([0, 1], 2) == decompose_toffoli(0, 1, 2)
+
+    def test_three_controls_with_ancilla_only_basis_gates(self):
+        gates = decompose_mcx([0, 1, 2], 4, ancillae=[3])
+        assert only_basis_gates(gates)
+
+    def test_three_controls_without_ancilla_only_basis_gates(self):
+        gates = decompose_mcx([0, 1, 2], 4)
+        assert only_basis_gates(gates)
+
+    def test_v_chain_touches_ancilla(self):
+        gates = decompose_mcx([0, 1, 2, 3], 6, ancillae=[4, 5])
+        touched = set()
+        for gate in gates:
+            touched.update(gate.qubits)
+        assert {4, 5} <= touched
+
+    def test_ancilla_count_checked(self):
+        # One ancilla is not enough for 4 controls via V-chain, so the
+        # no-ancilla fallback is used and must still be valid basis gates.
+        gates = decompose_mcx([0, 1, 2, 3], 5, ancillae=[4])
+        assert only_basis_gates(gates)
+
+    def test_overlapping_ancilla_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_mcx([0, 1, 2], 4, ancillae=[1])
+
+    def test_target_in_controls_rejected(self):
+        with pytest.raises(ValueError):
+            decompose_mcx([0, 1], 1)
+
+    def test_no_ancilla_cost_grows_with_controls(self):
+        cost3 = len(decompose_mcx([0, 1, 2], 3))
+        cost4 = len(decompose_mcx([0, 1, 2, 3], 4))
+        assert cost4 > cost3
+
+
+class TestDecomposeCircuit:
+    def test_swap_becomes_three_cnots(self):
+        circuit = QuantumCircuit(2).extend([swap(0, 1)])
+        decomposed = decompose_circuit(circuit)
+        assert [g.name for g in decomposed] == ["cx", "cx", "cx"]
+
+    def test_cz_becomes_cnot_with_hadamards(self):
+        circuit = QuantumCircuit(2).extend([cz(0, 1)])
+        names = [g.name for g in decompose_circuit(circuit)]
+        assert names == ["h", "cx", "h"]
+
+    def test_cp_becomes_two_cnots(self):
+        circuit = QuantumCircuit(2).extend([cp(0.7, 0, 1)])
+        decomposed = decompose_circuit(circuit)
+        assert sum(1 for g in decomposed if g.name == "cx") == 2
+        assert only_basis_gates(decomposed.gates)
+
+    def test_rzz_becomes_two_cnots(self):
+        circuit = QuantumCircuit(2).extend([rzz(0.3, 0, 1)])
+        decomposed = decompose_circuit(circuit)
+        assert sum(1 for g in decomposed if g.name == "cx") == 2
+
+    def test_basis_gates_pass_through(self):
+        circuit = QuantumCircuit(2).extend([cx(0, 1), Gate("h", (0,))])
+        assert decompose_circuit(circuit).gates == circuit.gates
+
+    def test_decomposition_preserves_qubit_count_and_name(self):
+        circuit = QuantumCircuit(4, name="keepme").extend([swap(1, 3)])
+        decomposed = decompose_circuit(circuit)
+        assert decomposed.num_qubits == 4
+        assert decomposed.name == "keepme"

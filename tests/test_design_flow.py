@@ -1,0 +1,103 @@
+"""Tests for the end-to-end design flow (paper Figure 1)."""
+
+import pytest
+
+from repro.design import DesignFlow, DesignOptions, design_architecture, design_architecture_series
+from repro.design.flow import BusStrategy, FrequencyStrategy
+from repro.hardware.frequency import FIVE_FREQUENCY_VALUES_GHZ
+
+
+FAST = DesignOptions(local_trials=200)
+
+
+class TestSingleDesign:
+    def test_design_produces_valid_architecture(self, small_benchmark):
+        arch = design_architecture(small_benchmark, max_four_qubit_buses=1, options=FAST)
+        assert arch.is_valid(), arch.validate()
+        assert arch.num_qubits == small_benchmark.num_qubits
+
+    def test_design_has_frequencies_for_every_qubit(self, small_benchmark):
+        arch = design_architecture(small_benchmark, options=FAST)
+        assert set(arch.frequencies) == set(arch.qubits)
+
+    def test_bus_count_respected(self, small_benchmark):
+        flow = DesignFlow(small_benchmark, FAST)
+        assert len(flow.design(0).four_qubit_buses()) == 0
+        assert len(flow.design(1).four_qubit_buses()) == 1
+
+    def test_pseudo_mapping_recorded(self, small_benchmark):
+        arch = design_architecture(small_benchmark, options=FAST)
+        assert arch.logical_to_physical == {q: q for q in range(small_benchmark.num_qubits)}
+
+    def test_profile_and_layout_are_cached(self, small_benchmark):
+        flow = DesignFlow(small_benchmark, FAST)
+        assert flow.profile is flow.profile
+        assert flow.layout is flow.layout
+
+    def test_architecture_names_are_distinct(self, small_benchmark):
+        flow = DesignFlow(small_benchmark, FAST)
+        names = {flow.design(k).name for k in range(3)}
+        assert len(names) == 3
+
+
+class TestDesignSeries:
+    def test_series_covers_zero_to_max(self, small_benchmark):
+        flow = DesignFlow(small_benchmark, FAST)
+        series = flow.design_series()
+        assert len(series) == flow.max_four_qubit_buses() + 1
+        assert [len(a.four_qubit_buses()) for a in series] == list(range(len(series)))
+
+    def test_series_connections_are_monotonic(self, small_benchmark):
+        series = design_architecture_series(small_benchmark, options=FAST)
+        connections = [arch.num_connections() for arch in series]
+        assert connections == sorted(connections)
+
+    def test_series_members_all_valid(self, small_benchmark):
+        for arch in design_architecture_series(small_benchmark, options=FAST):
+            assert arch.is_valid(), arch.validate()
+
+    def test_explicit_max_buses(self, small_benchmark):
+        series = design_architecture_series(small_benchmark, max_buses=1, options=FAST)
+        assert len(series) == 2
+
+
+class TestStrategies:
+    def test_five_frequency_strategy_uses_scheme_values(self, small_benchmark):
+        options = DesignOptions(frequency_strategy=FrequencyStrategy.FIVE_FREQUENCY)
+        arch = design_architecture(small_benchmark, options=options)
+        assert set(arch.frequencies.values()) <= set(FIVE_FREQUENCY_VALUES_GHZ)
+
+    def test_random_bus_strategy_is_seeded(self, small_benchmark):
+        options_a = DesignOptions(
+            bus_strategy=BusStrategy.RANDOM, random_bus_seed=9, local_trials=200
+        )
+        options_b = DesignOptions(
+            bus_strategy=BusStrategy.RANDOM, random_bus_seed=9, local_trials=200
+        )
+        arch_a = design_architecture(small_benchmark, 2, options_a)
+        arch_b = design_architecture(small_benchmark, 2, options_b)
+        squares_a = [bus.square.origin for bus in arch_a.four_qubit_buses()]
+        squares_b = [bus.square.origin for bus in arch_b.four_qubit_buses()]
+        assert squares_a == squares_b
+
+    def test_random_bus_architectures_are_valid(self, small_benchmark):
+        options = DesignOptions(
+            bus_strategy=BusStrategy.RANDOM, random_bus_seed=4, local_trials=200
+        )
+        arch = design_architecture(small_benchmark, 2, options)
+        assert arch.is_valid(), arch.validate()
+
+    def test_ising_special_case_no_useful_buses(self):
+        """Section 5.3.1: a pure chain program gains nothing from 4-qubit buses.
+
+        The filtered-weight selection should find zero cross-coupling weight
+        on every square, because no two-qubit gates act on diagonal pairs.
+        """
+        from repro.benchmarks import ising_model_circuit
+        from repro.design.bus_selection import cross_coupling_weights
+        from repro.profiling import profile_circuit
+
+        circuit = ising_model_circuit(8, trotter_steps=2)
+        flow = DesignFlow(circuit, FAST)
+        weights = cross_coupling_weights(flow.layout.lattice, flow.profile)
+        assert all(weight == 0 for weight in weights.values())

@@ -1,0 +1,74 @@
+"""Tests for the coupling-graph distance matrix."""
+
+import numpy as np
+
+from repro.hardware import Architecture, Lattice, ibm_16q_2x8
+from repro.mapping import DistanceMatrix
+
+
+def chain(n):
+    return Architecture.from_layout("chain", Lattice.rectangle(1, n))
+
+
+class TestDistanceMatrix:
+    def test_adjacent_distance_is_one(self):
+        distances = DistanceMatrix(chain(4))
+        assert distances.distance(0, 1) == 1
+
+    def test_chain_end_to_end_distance(self):
+        distances = DistanceMatrix(chain(5))
+        assert distances.distance(0, 4) == 4
+
+    def test_distance_is_symmetric(self):
+        distances = DistanceMatrix(ibm_16q_2x8())
+        for a in range(0, 16, 5):
+            for b in range(0, 16, 3):
+                assert distances.distance(a, b) == distances.distance(b, a)
+
+    def test_self_distance_zero(self):
+        assert DistanceMatrix(chain(3)).distance(2, 2) == 0
+
+    def test_grid_distance_matches_manhattan(self):
+        arch = ibm_16q_2x8()
+        distances = DistanceMatrix(arch)
+        coords = arch.coordinates()
+        # With only nearest-neighbour 2-qubit buses, graph distance equals
+        # Manhattan distance on the grid.
+        for a in (0, 5, 11):
+            for b in (3, 9, 15):
+                manhattan = abs(coords[a][0] - coords[b][0]) + abs(coords[a][1] - coords[b][1])
+                assert distances.distance(a, b) == manhattan
+
+    def test_four_qubit_bus_shortens_diagonal_distance(self):
+        from repro.hardware import ibm_16q_2x8 as base
+
+        sparse = DistanceMatrix(base(use_four_qubit_buses=False))
+        dense = DistanceMatrix(base(use_four_qubit_buses=True))
+        # Qubits 0 and 9 are diagonal corners of the first square (coords (0,0),(1,1)).
+        assert dense.distance(0, 9) == 1
+        assert sparse.distance(0, 9) == 2
+
+    def test_connectivity_detection(self):
+        connected = DistanceMatrix(chain(4))
+        assert connected.is_connected()
+        disconnected = DistanceMatrix(
+            Architecture(
+                name="disc",
+                lattice=Lattice.from_coordinates({0: (0, 0), 1: (5, 5)}),
+                buses=[],
+            )
+        )
+        assert not disconnected.is_connected()
+
+    def test_diameter(self):
+        assert DistanceMatrix(chain(6)).diameter() == 5
+
+    def test_as_array_is_a_copy(self):
+        distances = DistanceMatrix(chain(3))
+        array = distances.as_array()
+        array[0, 1] = 99
+        assert distances.distance(0, 1) == 1
+
+    def test_qubit_order_preserved(self):
+        distances = DistanceMatrix(chain(3))
+        assert distances.qubits == [0, 1, 2]

@@ -1,0 +1,82 @@
+"""Tests for frequency schemes and constants."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.frequency import (
+    ALLOWED_FREQUENCY_MAX_GHZ,
+    ALLOWED_FREQUENCY_MIN_GHZ,
+    FIVE_FREQUENCY_VALUES_GHZ,
+    candidate_frequencies,
+    five_frequency_label,
+    five_frequency_scheme,
+    middle_frequency,
+    validate_frequencies,
+)
+from repro.hardware.lattice import Lattice
+
+
+class TestConstants:
+    def test_allowed_band(self):
+        assert ALLOWED_FREQUENCY_MIN_GHZ == pytest.approx(5.00)
+        assert ALLOWED_FREQUENCY_MAX_GHZ == pytest.approx(5.34)
+
+    def test_five_frequency_values_are_arithmetic_progression(self):
+        values = np.array(FIVE_FREQUENCY_VALUES_GHZ)
+        steps = np.diff(values)
+        assert np.allclose(steps, steps[0])
+        assert values[0] == pytest.approx(5.00)
+        assert values[-1] == pytest.approx(5.27)
+
+    def test_middle_frequency(self):
+        assert middle_frequency() == pytest.approx(5.17)
+
+
+class TestCandidateFrequencies:
+    def test_default_grid_has_35_points(self):
+        candidates = candidate_frequencies()
+        assert len(candidates) == 35
+        assert candidates[0] == pytest.approx(5.00)
+        assert candidates[-1] == pytest.approx(5.34)
+
+    def test_custom_step(self):
+        candidates = candidate_frequencies(0.02)
+        assert len(candidates) == 18
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError):
+            candidate_frequencies(0)
+
+
+class TestFiveFrequencyScheme:
+    def test_labels_follow_figure9_pattern(self):
+        # Row 0 advances by one label per column; row 1 is offset by two.
+        assert [five_frequency_label((x, 0)) for x in range(5)] == [0, 1, 2, 3, 4]
+        assert [five_frequency_label((x, 1)) for x in range(5)] == [2, 3, 4, 0, 1]
+
+    def test_adjacent_nodes_never_share_a_label(self):
+        for x in range(6):
+            for y in range(6):
+                label = five_frequency_label((x, y))
+                assert label != five_frequency_label((x + 1, y))
+                assert label != five_frequency_label((x, y + 1))
+
+    def test_scheme_assigns_every_qubit(self):
+        lattice = Lattice.rectangle(4, 5)
+        scheme = five_frequency_scheme(lattice.coordinates())
+        assert set(scheme) == set(lattice.qubits)
+        assert set(scheme.values()) <= set(FIVE_FREQUENCY_VALUES_GHZ)
+
+    def test_scheme_within_allowed_band(self):
+        lattice = Lattice.rectangle(2, 8)
+        assert validate_frequencies(five_frequency_scheme(lattice.coordinates())) == []
+
+
+class TestValidation:
+    def test_out_of_band_detected(self):
+        problems = validate_frequencies({0: 4.9, 1: 5.2})
+        assert len(problems) == 1
+        assert "qubit 0" in problems[0]
+
+    def test_all_in_band_passes(self):
+        assert validate_frequencies({0: 5.0, 1: 5.34}) == []

@@ -1,0 +1,113 @@
+"""Tests for the frequency allocation subroutine (Algorithm 3)."""
+
+import pytest
+
+from repro.collision import YieldSimulator
+from repro.design import FrequencyAllocator, allocate_frequencies
+from repro.hardware import Architecture, Lattice
+from repro.hardware.frequency import (
+    ALLOWED_FREQUENCY_MAX_GHZ,
+    ALLOWED_FREQUENCY_MIN_GHZ,
+    five_frequency_scheme,
+    middle_frequency,
+    validate_frequencies,
+)
+
+
+def chain_architecture(num_qubits):
+    return Architecture.from_layout("chain", Lattice.rectangle(1, num_qubits))
+
+
+def grid_architecture(rows, cols):
+    return Architecture.from_layout(f"grid{rows}x{cols}", Lattice.rectangle(rows, cols))
+
+
+@pytest.fixture
+def fast_allocator():
+    return FrequencyAllocator(local_trials=400, seed=11)
+
+
+class TestAllocationBasics:
+    def test_every_qubit_gets_a_frequency(self, fast_allocator):
+        arch = grid_architecture(2, 3)
+        frequencies = fast_allocator.allocate(arch)
+        assert set(frequencies) == set(arch.qubits)
+
+    def test_frequencies_stay_in_allowed_band(self, fast_allocator):
+        frequencies = fast_allocator.allocate(grid_architecture(2, 4))
+        assert validate_frequencies(frequencies) == []
+
+    def test_center_qubit_gets_middle_frequency(self, fast_allocator):
+        arch = grid_architecture(3, 3)
+        frequencies = fast_allocator.allocate(arch)
+        center = arch.lattice.central_qubit()
+        assert frequencies[center] == pytest.approx(middle_frequency())
+
+    def test_allocation_is_deterministic(self, fast_allocator):
+        arch = chain_architecture(5)
+        assert fast_allocator.allocate(arch) == fast_allocator.allocate(arch)
+
+    def test_single_qubit_architecture(self, fast_allocator):
+        arch = Architecture.from_layout("one", Lattice.from_coordinates({0: (0, 0)}))
+        assert fast_allocator.allocate(arch) == {0: middle_frequency()}
+
+    def test_empty_architecture_rejected(self, fast_allocator):
+        with pytest.raises(ValueError):
+            fast_allocator.allocate(Architecture(name="empty", lattice=Lattice()))
+
+    def test_convenience_wrapper(self):
+        frequencies = allocate_frequencies(chain_architecture(4), local_trials=300, seed=5)
+        assert len(frequencies) == 4
+
+
+class TestAllocationQuality:
+    def test_connected_qubits_are_separated(self, fast_allocator):
+        """No connected pair should be designed inside the condition-1 window."""
+        arch = chain_architecture(6)
+        frequencies = fast_allocator.allocate(arch)
+        for a, b in arch.coupling_edges():
+            assert abs(frequencies[a] - frequencies[b]) > 0.017
+
+    def test_common_neighbours_are_separated(self, fast_allocator):
+        """Spectator pairs (condition 5) should not be designed on top of each other."""
+        arch = chain_architecture(6)
+        frequencies = fast_allocator.allocate(arch)
+        for j, i, k in arch.collision_triples():
+            assert abs(frequencies[i] - frequencies[k]) > 0.017
+
+    def test_beats_five_frequency_scheme_on_chain(self):
+        """Section 5.4.3: the optimized allocation outperforms the 5-frequency scheme."""
+        arch = chain_architecture(8)
+        optimized = arch.with_frequencies(
+            FrequencyAllocator(local_trials=1500, seed=3).allocate(arch), name="opt"
+        )
+        five_freq = arch.with_frequencies(
+            five_frequency_scheme(arch.coordinates()), name="5freq"
+        )
+        simulator = YieldSimulator(trials=6000, seed=17)
+        assert (
+            simulator.estimate(optimized).yield_rate
+            > simulator.estimate(five_freq).yield_rate
+        )
+
+    def test_yield_positive_for_small_grid(self):
+        arch = grid_architecture(2, 3)
+        optimized = arch.with_frequencies(
+            FrequencyAllocator(local_trials=1500, seed=3).allocate(arch)
+        )
+        assert YieldSimulator(trials=4000, seed=23).estimate(optimized).yield_rate > 0.0
+
+    def test_refinement_pass_keeps_assignment_valid(self):
+        """The optional coordinate-descent sweeps stay in-band and deterministic."""
+        arch = grid_architecture(2, 3)
+        allocator = FrequencyAllocator(local_trials=400, seed=11, refinement_passes=2)
+        frequencies = allocator.allocate(arch)
+        assert validate_frequencies(frequencies) == []
+        assert frequencies == allocator.allocate(arch)
+
+    def test_candidate_grid_resolution_respected(self, fast_allocator):
+        frequencies = fast_allocator.allocate(chain_architecture(5))
+        for value in frequencies.values():
+            steps = (value - ALLOWED_FREQUENCY_MIN_GHZ) / fast_allocator.frequency_step_ghz
+            assert abs(steps - round(steps)) < 1e-6
+            assert ALLOWED_FREQUENCY_MIN_GHZ <= value <= ALLOWED_FREQUENCY_MAX_GHZ

@@ -1,0 +1,127 @@
+"""Unit tests for the gate objects."""
+
+import math
+
+import pytest
+
+from repro.circuit.gates import (
+    Gate,
+    GateKind,
+    ONE_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+    barrier,
+    cp,
+    cx,
+    cz,
+    h,
+    is_clifford_angle,
+    measure,
+    rx,
+    ry,
+    rz,
+    rzz,
+    swap,
+    t,
+    u2,
+    u3,
+    x,
+)
+
+
+class TestGateConstruction:
+    def test_single_qubit_gate(self):
+        gate = h(3)
+        assert gate.name == "h"
+        assert gate.qubits == (3,)
+        assert gate.params == ()
+
+    def test_two_qubit_gate(self):
+        gate = cx(0, 2)
+        assert gate.qubits == (0, 2)
+        assert gate.num_qubits == 2
+
+    def test_parameterised_gate_keeps_angle(self):
+        gate = rz(0.5, 1)
+        assert gate.params == (0.5,)
+
+    def test_u2_and_u3_param_counts(self):
+        assert len(u2(0.1, 0.2, 0).params) == 2
+        assert len(u3(0.1, 0.2, 0.3, 0).params) == 3
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (1, 1))
+
+    def test_wrong_arity_single_qubit(self):
+        with pytest.raises(ValueError):
+            Gate("h", (0, 1))
+
+    def test_wrong_arity_two_qubit(self):
+        with pytest.raises(ValueError):
+            Gate("cx", (0,))
+
+    def test_missing_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Gate("rz", (0,))
+
+    def test_empty_qubits_rejected_for_non_barrier(self):
+        with pytest.raises(ValueError):
+            Gate("h", ())
+
+    def test_barrier_may_span_no_qubits(self):
+        assert barrier().qubits == ()
+
+
+class TestGateKind:
+    def test_single_qubit_kind(self):
+        assert x(0).kind is GateKind.SINGLE_QUBIT
+
+    def test_two_qubit_kind(self):
+        assert cz(0, 1).kind is GateKind.TWO_QUBIT
+
+    def test_measurement_kind(self):
+        assert measure(0).kind is GateKind.MEASUREMENT
+
+    def test_barrier_kind(self):
+        assert barrier(0, 1).kind is GateKind.BARRIER
+
+    def test_is_two_qubit_flag(self):
+        assert swap(0, 1).is_two_qubit
+        assert rzz(0.3, 0, 1).is_two_qubit
+        assert not t(0).is_two_qubit
+        assert not measure(0).is_two_qubit
+
+    def test_gate_name_sets_are_disjoint(self):
+        assert not (ONE_QUBIT_GATES & TWO_QUBIT_GATES)
+
+
+class TestGateRemap:
+    def test_remap_with_dict(self):
+        gate = cx(0, 1).remap({0: 5, 1: 7})
+        assert gate.qubits == (5, 7)
+
+    def test_remap_with_callable(self):
+        gate = cp(0.2, 2, 3).remap(lambda q: q + 10)
+        assert gate.qubits == (12, 13)
+        assert gate.params == (0.2,)
+
+    def test_remap_preserves_name(self):
+        assert ry(0.1, 0).remap({0: 4}).name == "ry"
+
+
+class TestGateMisc:
+    def test_str_contains_name_and_qubits(self):
+        text = str(cx(0, 1))
+        assert "cx" in text and "q0" in text and "q1" in text
+
+    def test_str_formats_params(self):
+        assert "0.5" in str(rx(0.5, 2))
+
+    def test_gates_are_hashable_and_equal_by_value(self):
+        assert cx(0, 1) == cx(0, 1)
+        assert len({cx(0, 1), cx(0, 1), cx(1, 0)}) == 2
+
+    def test_is_clifford_angle(self):
+        assert is_clifford_angle(math.pi / 2)
+        assert is_clifford_angle(math.pi)
+        assert not is_clifford_angle(0.3)

@@ -1,0 +1,69 @@
+"""Tests for the IBM baseline architectures (paper Figure 9)."""
+
+import pytest
+
+from repro.hardware import ibm_16q_2x8, ibm_20q_4x5, ibm_baseline, ibm_baselines
+from repro.hardware.frequency import FIVE_FREQUENCY_VALUES_GHZ
+
+
+class TestSixteenQubitChip:
+    def test_two_qubit_bus_variant(self):
+        arch = ibm_16q_2x8(use_four_qubit_buses=False)
+        assert arch.num_qubits == 16
+        # A 2x8 grid has 7 + 2*8 - 8 ... : horizontal 2*7=14, vertical 8 -> 22 edges.
+        assert arch.num_connections() == 22
+        assert len(arch.four_qubit_buses()) == 0
+
+    def test_four_qubit_bus_variant_has_four_buses(self):
+        arch = ibm_16q_2x8(use_four_qubit_buses=True)
+        assert len(arch.four_qubit_buses()) == 4
+
+    def test_four_qubit_buses_not_adjacent(self):
+        arch = ibm_16q_2x8(use_four_qubit_buses=True)
+        assert arch.is_valid()
+
+    def test_four_qubit_variant_has_more_connections(self):
+        assert (
+            ibm_16q_2x8(use_four_qubit_buses=True).num_connections()
+            > ibm_16q_2x8(use_four_qubit_buses=False).num_connections()
+        )
+
+
+class TestTwentyQubitChip:
+    def test_two_qubit_bus_variant(self):
+        arch = ibm_20q_4x5(use_four_qubit_buses=False)
+        assert arch.num_qubits == 20
+        # 4x5 grid: horizontal 4*4=16, vertical 3*5=15 -> 31 edges.
+        assert arch.num_connections() == 31
+
+    def test_four_qubit_bus_variant_has_six_buses(self):
+        arch = ibm_20q_4x5(use_four_qubit_buses=True)
+        assert len(arch.four_qubit_buses()) == 6
+        assert arch.is_valid()
+
+
+class TestBaselineRegistry:
+    def test_four_baselines(self):
+        baselines = ibm_baselines()
+        assert set(baselines) == {1, 2, 3, 4}
+        assert baselines[1].num_qubits == 16
+        assert baselines[4].num_qubits == 20
+
+    def test_baseline_index_validation(self):
+        with pytest.raises(ValueError):
+            ibm_baseline(5)
+
+    def test_all_baselines_use_five_frequency_scheme(self):
+        for arch in ibm_baselines().values():
+            assert set(arch.frequencies.values()) <= set(FIVE_FREQUENCY_VALUES_GHZ)
+            assert len(arch.frequencies) == arch.num_qubits
+
+    def test_all_baselines_valid(self):
+        for arch in ibm_baselines().values():
+            assert arch.is_valid(), arch.validate()
+
+    def test_resource_ordering_matches_figure9(self):
+        """More hardware resources as the baseline index grows within a chip size."""
+        baselines = ibm_baselines()
+        assert baselines[1].num_connections() < baselines[2].num_connections()
+        assert baselines[3].num_connections() < baselines[4].num_connections()

@@ -1,0 +1,66 @@
+"""Tests for initial logical-to-physical mapping."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit, cx
+from repro.design import DesignFlow, DesignOptions
+from repro.hardware import Architecture, Lattice, ibm_16q_2x8
+from repro.mapping import initial_mapping
+from repro.mapping.distance import DistanceMatrix
+from repro.profiling import profile_circuit
+
+
+class TestGreedyMapping:
+    def test_mapping_is_injective_and_complete(self, line_circuit):
+        profile = profile_circuit(line_circuit)
+        mapping = initial_mapping(profile, ibm_16q_2x8())
+        assert len(mapping) == line_circuit.num_qubits
+        assert len(set(mapping.values())) == line_circuit.num_qubits
+
+    def test_mapping_targets_exist_on_architecture(self, line_circuit):
+        arch = ibm_16q_2x8()
+        mapping = initial_mapping(profile_circuit(line_circuit), arch)
+        assert set(mapping.values()) <= set(arch.qubits)
+
+    def test_too_small_architecture_rejected(self):
+        circuit = QuantumCircuit(5).extend([cx(0, 1)])
+        small = Architecture.from_layout("small", Lattice.rectangle(1, 3))
+        with pytest.raises(ValueError):
+            initial_mapping(profile_circuit(circuit), small)
+
+    def test_strongly_coupled_pair_mapped_adjacent(self):
+        circuit = QuantumCircuit(4)
+        for _ in range(20):
+            circuit.append(cx(0, 1))
+        circuit.append(cx(2, 3))
+        arch = ibm_16q_2x8()
+        mapping = initial_mapping(profile_circuit(circuit), arch)
+        distances = DistanceMatrix(arch)
+        assert distances.distance(mapping[0], mapping[1]) == 1
+
+    def test_chain_circuit_mapped_with_small_total_distance(self, line_circuit):
+        arch = ibm_16q_2x8()
+        profile = profile_circuit(line_circuit)
+        mapping = initial_mapping(profile, arch)
+        distances = DistanceMatrix(arch)
+        total = sum(
+            distances.distance(mapping[a], mapping[b]) for a, b in profile.coupled_pairs()
+        )
+        # A 6-qubit chain embeds into the 2x8 grid with all pairs adjacent.
+        assert total <= len(profile.coupled_pairs()) + 2
+
+
+class TestPseudoMappingReuse:
+    def test_designed_architecture_uses_recorded_mapping(self, small_benchmark):
+        flow = DesignFlow(small_benchmark, DesignOptions(local_trials=200))
+        arch = flow.design(0)
+        mapping = initial_mapping(profile_circuit(small_benchmark), arch)
+        assert mapping == arch.logical_to_physical
+
+    def test_recorded_mapping_ignored_when_it_does_not_cover_circuit(self):
+        circuit = QuantumCircuit(4).extend([cx(0, 1), cx(2, 3)])
+        arch = ibm_16q_2x8()
+        arch.logical_to_physical = {0: 0}  # incomplete: must be ignored
+        mapping = initial_mapping(profile_circuit(circuit), arch)
+        assert len(mapping) == 4
+        assert len(set(mapping.values())) == 4

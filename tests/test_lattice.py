@@ -1,0 +1,126 @@
+"""Tests for the 2D lattice geometry."""
+
+import pytest
+
+from repro.hardware.lattice import Lattice, Square, manhattan_distance, node_neighbors
+
+
+class TestGeometry:
+    def test_manhattan_distance(self):
+        assert manhattan_distance((0, 0), (2, 3)) == 5
+        assert manhattan_distance((1, 1), (1, 1)) == 0
+        assert manhattan_distance((-1, 0), (1, 0)) == 2
+
+    def test_node_neighbors(self):
+        assert set(node_neighbors((0, 0))) == {(1, 0), (-1, 0), (0, 1), (0, -1)}
+
+    def test_square_corners(self):
+        square = Square((1, 2))
+        assert set(square.corners) == {(1, 2), (2, 2), (1, 3), (2, 3)}
+
+    def test_square_diagonals(self):
+        diag_a, diag_b = Square((0, 0)).diagonals
+        assert set(diag_a) == {(0, 0), (1, 1)}
+        assert set(diag_b) == {(1, 0), (0, 1)}
+
+    def test_square_edges(self):
+        assert len(Square((0, 0)).edges) == 4
+
+    def test_square_adjacency(self):
+        assert Square((0, 0)).is_adjacent_to(Square((1, 0)))
+        assert not Square((0, 0)).is_adjacent_to(Square((1, 1)))
+        assert not Square((0, 0)).is_adjacent_to(Square((0, 0)))
+
+    def test_square_neighbors_are_adjacent(self):
+        square = Square((2, 3))
+        assert all(square.is_adjacent_to(other) for other in square.neighbors())
+
+
+class TestLatticePlacement:
+    def test_place_and_lookup(self):
+        lattice = Lattice()
+        lattice.place(7, (0, 0))
+        assert lattice.qubit_at((0, 0)) == 7
+        assert lattice.node_of(7) == (0, 0)
+        assert lattice.is_occupied((0, 0))
+        assert not lattice.is_occupied((1, 0))
+
+    def test_double_occupancy_rejected(self):
+        lattice = Lattice()
+        lattice.place(0, (0, 0))
+        with pytest.raises(ValueError):
+            lattice.place(1, (0, 0))
+
+    def test_double_placement_of_qubit_rejected(self):
+        lattice = Lattice()
+        lattice.place(0, (0, 0))
+        with pytest.raises(ValueError):
+            lattice.place(0, (1, 0))
+
+    def test_from_coordinates(self):
+        lattice = Lattice.from_coordinates({0: (0, 0), 1: (1, 0)})
+        assert lattice.num_qubits == 2
+        assert lattice.coordinates() == {0: (0, 0), 1: (1, 0)}
+
+    def test_rectangle_row_major_layout(self):
+        lattice = Lattice.rectangle(2, 3)
+        assert lattice.num_qubits == 6
+        assert lattice.node_of(0) == (0, 0)
+        assert lattice.node_of(2) == (2, 0)
+        assert lattice.node_of(3) == (0, 1)
+
+    def test_qubit_at_empty_node_is_none(self):
+        assert Lattice().qubit_at((5, 5)) is None
+
+
+class TestLatticeQueries:
+    def test_neighbors_of_qubit(self, square_lattice_3x3):
+        # Qubit 4 is the centre of the 3x3 grid.
+        assert square_lattice_3x3.neighbors_of_qubit(4) == [1, 3, 5, 7]
+        assert square_lattice_3x3.neighbors_of_qubit(0) == [1, 3]
+
+    def test_adjacent_pairs_count_for_grid(self, square_lattice_3x3):
+        # A 3x3 grid has 12 nearest-neighbour edges.
+        assert len(square_lattice_3x3.adjacent_pairs()) == 12
+
+    def test_adjacent_pairs_are_normalized(self, square_lattice_3x3):
+        assert all(a < b for a, b in square_lattice_3x3.adjacent_pairs())
+
+    def test_empty_frontier_surrounds_single_qubit(self):
+        lattice = Lattice()
+        lattice.place(0, (0, 0))
+        assert len(lattice.empty_frontier()) == 4
+
+    def test_squares_of_grid(self, square_lattice_3x3):
+        full_squares = square_lattice_3x3.squares(min_occupied=4)
+        assert len(full_squares) == 4
+
+    def test_squares_with_three_occupied_corners(self):
+        lattice = Lattice.from_coordinates({0: (0, 0), 1: (1, 0), 2: (0, 1)})
+        assert len(lattice.squares(min_occupied=3)) == 1
+        assert len(lattice.squares(min_occupied=4)) == 0
+
+    def test_square_qubits(self, square_lattice_3x3):
+        assert square_lattice_3x3.square_qubits(Square((0, 0))) == [0, 1, 3, 4]
+
+    def test_bounding_box(self):
+        lattice = Lattice.from_coordinates({0: (-1, 2), 1: (3, -2)})
+        assert lattice.bounding_box() == ((-1, -2), (3, 2))
+
+    def test_bounding_box_of_empty_lattice_raises(self):
+        with pytest.raises(ValueError):
+            Lattice().bounding_box()
+
+    def test_normalized_starts_at_origin(self):
+        lattice = Lattice.from_coordinates({0: (-2, 5), 1: (-1, 5)})
+        normalized = lattice.normalized()
+        assert normalized.bounding_box()[0] == (0, 0)
+        assert normalized.num_qubits == 2
+
+    def test_geometric_center_and_central_qubit(self, square_lattice_3x3):
+        assert square_lattice_3x3.geometric_center() == (1.0, 1.0)
+        assert square_lattice_3x3.central_qubit() == 4
+
+    def test_central_qubit_of_empty_lattice_raises(self):
+        with pytest.raises(ValueError):
+            Lattice().central_qubit()

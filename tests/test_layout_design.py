@@ -1,0 +1,105 @@
+"""Tests for the layout design subroutine (Algorithm 1)."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit, cx
+from repro.design import design_layout
+from repro.hardware.lattice import manhattan_distance
+from repro.profiling import profile_circuit
+
+
+def layout_for(circuit):
+    return design_layout(profile_circuit(circuit))
+
+
+class TestBasicPlacement:
+    def test_every_qubit_placed_exactly_once(self, paper_example_circuit):
+        result = layout_for(paper_example_circuit)
+        assert sorted(result.lattice.qubits) == list(range(5))
+        assert len(set(result.lattice.coordinates().values())) == 5
+
+    def test_highest_degree_qubit_placed_first_at_origin(self, paper_example_circuit):
+        result = layout_for(paper_example_circuit)
+        assert result.placement_order[0] == 4
+        assert result.lattice.node_of(4) == (0, 0)
+
+    def test_placement_order_follows_candidate_degree(self, paper_example_circuit):
+        result = layout_for(paper_example_circuit)
+        # q0 (degree 3) is the first neighbour placed after q4.
+        assert result.placement_order[1] == 0
+
+    def test_pseudo_mapping_is_identity(self, paper_example_circuit):
+        result = layout_for(paper_example_circuit)
+        assert result.logical_to_physical == {q: q for q in range(5)}
+
+    def test_strongly_coupled_pairs_are_adjacent(self, paper_example_circuit):
+        result = layout_for(paper_example_circuit)
+        coords = result.lattice.coordinates()
+        # The strongest pair (q0, q4) with weight 2 must be nearest neighbours.
+        assert manhattan_distance(coords[0], coords[4]) == 1
+
+    def test_layout_patch_is_connected(self, line_circuit):
+        result = layout_for(line_circuit)
+        lattice = result.lattice
+        # Every qubit has at least one lattice neighbour among the placed qubits.
+        for qubit in lattice.qubits:
+            assert lattice.neighbors_of_qubit(qubit), f"qubit {qubit} is isolated"
+
+
+class TestChainProgram:
+    def test_chain_program_gets_chain_compatible_layout(self, line_circuit):
+        result = layout_for(line_circuit)
+        coords = result.lattice.coordinates()
+        # Every logically coupled pair should be adjacent on the lattice
+        # (a chain always embeds perfectly in a 2D grid).
+        profile = profile_circuit(line_circuit)
+        for a, b in profile.coupled_pairs():
+            assert manhattan_distance(coords[a], coords[b]) == 1
+
+    def test_ising_model_layout_supports_all_gates_directly(self):
+        from repro.benchmarks import ising_model_circuit
+
+        circuit = ising_model_circuit(10)
+        profile = profile_circuit(circuit)
+        result = design_layout(profile)
+        coords = result.lattice.coordinates()
+        for a, b in profile.coupled_pairs():
+            assert manhattan_distance(coords[a], coords[b]) == 1
+
+
+class TestEdgeCases:
+    def test_single_qubit_circuit(self):
+        circuit = QuantumCircuit(1)
+        result = layout_for(circuit)
+        assert result.lattice.num_qubits == 1
+
+    def test_circuit_with_no_two_qubit_gates(self):
+        circuit = QuantumCircuit(4)
+        result = layout_for(circuit)
+        assert result.lattice.num_qubits == 4
+
+    def test_disconnected_coupling_graph(self):
+        circuit = QuantumCircuit(6).extend([cx(0, 1), cx(0, 1), cx(3, 4)])
+        result = layout_for(circuit)
+        assert result.lattice.num_qubits == 6
+        # The patch must still be lattice-connected so it can be wired up.
+        for qubit in result.lattice.qubits:
+            assert result.lattice.neighbors_of_qubit(qubit)
+
+    def test_isolated_qubits_are_still_placed(self):
+        circuit = QuantumCircuit(5).extend([cx(0, 1)])
+        result = layout_for(circuit)
+        assert result.lattice.num_qubits == 5
+
+    def test_layout_is_deterministic(self, small_benchmark):
+        first = layout_for(small_benchmark).lattice.coordinates()
+        second = layout_for(small_benchmark).lattice.coordinates()
+        assert first == second
+
+    def test_benchmark_layout_uses_fewer_connections_than_ibm(self, small_benchmark):
+        """The paper's Section 5.4.1 point: optimized layouts need fewer resources."""
+        from repro.hardware import Architecture, ibm_16q_2x8
+
+        result = layout_for(small_benchmark)
+        arch = Architecture.from_layout("layout", result.lattice)
+        assert arch.num_connections() < ibm_16q_2x8().num_connections()

@@ -1,0 +1,66 @@
+"""Tests for coupling-pattern classification (paper Section 3.2)."""
+
+from repro.benchmarks import get_benchmark, ising_model_circuit, qft_circuit
+from repro.circuit import QuantumCircuit, cx
+from repro.profiling import CouplingPattern, classify_pattern, profile_circuit
+
+
+def classify(circuit):
+    return classify_pattern(profile_circuit(circuit))
+
+
+class TestClassification:
+    def test_empty_pattern(self):
+        assert classify(QuantumCircuit(4)) is CouplingPattern.EMPTY
+
+    def test_chain_pattern(self):
+        circuit = QuantumCircuit(6)
+        for _ in range(5):
+            for qubit in range(5):
+                circuit.append(cx(qubit, qubit + 1))
+        assert classify(circuit) is CouplingPattern.CHAIN
+
+    def test_uniform_pattern(self):
+        circuit = QuantumCircuit(5)
+        for i in range(5):
+            for j in range(i + 1, 5):
+                circuit.append(cx(i, j))
+        assert classify(circuit) is CouplingPattern.UNIFORM
+
+    def test_sparse_pattern(self):
+        circuit = QuantumCircuit(8).extend([cx(0, 1), cx(0, 1), cx(2, 3), cx(4, 5)])
+        assert classify(circuit) in (CouplingPattern.SPARSE, CouplingPattern.CHAIN)
+
+    def test_single_pair_is_not_empty(self):
+        circuit = QuantumCircuit(3).extend([cx(0, 1)])
+        assert classify(circuit) is not CouplingPattern.EMPTY
+
+
+class TestPaperBenchmarkPatterns:
+    """The pattern observations the paper relies on in Sections 3.2 and 5."""
+
+    def test_qft_is_uniform(self):
+        assert classify(qft_circuit(8)) is CouplingPattern.UNIFORM
+
+    def test_ising_model_is_chain(self):
+        assert classify(ising_model_circuit(10)) is CouplingPattern.CHAIN
+
+    def test_uccsd_is_chain_dominated(self):
+        # The UCCSD staircases put most weight on neighbouring qubits.
+        assert classify(get_benchmark("UCCSD_ansatz_8")) is CouplingPattern.CHAIN
+
+    def test_qft_every_pair_has_weight_two(self):
+        profile = profile_circuit(qft_circuit(8))
+        for i in range(8):
+            for j in range(i + 1, 8):
+                assert profile.strength(i, j) == 2
+
+    def test_ising_only_neighbouring_pairs_coupled(self):
+        profile = profile_circuit(ising_model_circuit(12))
+        for i, j in profile.coupled_pairs():
+            assert j == i + 1
+
+    def test_arithmetic_benchmark_is_not_uniform(self):
+        pattern = classify(get_benchmark("adr4_197"))
+        assert pattern is not CouplingPattern.UNIFORM
+        assert pattern is not CouplingPattern.EMPTY

@@ -1,0 +1,230 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gates import Gate, cx, h
+from repro.collision.conditions import check_pair_collisions, check_triple_collisions
+from repro.design import design_layout, select_four_qubit_buses
+from repro.hardware import Architecture, Lattice
+from repro.hardware.frequency import five_frequency_label
+from repro.hardware.lattice import Square, manhattan_distance
+from repro.mapping import DistanceMatrix, initial_mapping, route_circuit
+from repro.profiling import coupling_degree_list, coupling_strength_matrix, profile_circuit
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+NODES = st.tuples(st.integers(-6, 6), st.integers(-6, 6))
+
+
+@st.composite
+def random_circuits(draw, max_qubits=8, max_gates=40):
+    """Circuits made of CNOTs and Hadamards on a small register."""
+    num_qubits = draw(st.integers(2, max_qubits))
+    num_gates = draw(st.integers(0, max_gates))
+    circuit = QuantumCircuit(num_qubits, name="random")
+    for _ in range(num_gates):
+        if draw(st.booleans()):
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 1))
+            if a != b:
+                circuit.append(cx(a, b))
+        else:
+            circuit.append(h(draw(st.integers(0, num_qubits - 1))))
+    return circuit
+
+
+@st.composite
+def connected_circuits(draw, max_qubits=7, max_extra_gates=30):
+    """Circuits whose coupling graph is connected (a chain plus random extras)."""
+    num_qubits = draw(st.integers(2, max_qubits))
+    circuit = QuantumCircuit(num_qubits, name="connected")
+    for qubit in range(num_qubits - 1):
+        circuit.append(cx(qubit, qubit + 1))
+    for _ in range(draw(st.integers(0, max_extra_gates))):
+        a = draw(st.integers(0, num_qubits - 1))
+        b = draw(st.integers(0, num_qubits - 1))
+        if a != b:
+            circuit.append(cx(a, b))
+    return circuit
+
+
+# ---------------------------------------------------------------------------
+# Profiling invariants
+# ---------------------------------------------------------------------------
+
+
+class TestProfilingProperties:
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_strength_matrix_symmetric_nonnegative_zero_diagonal(self, circuit):
+        matrix = coupling_strength_matrix(circuit)
+        assert (matrix == matrix.T).all()
+        assert (matrix >= 0).all()
+        assert (np.diag(matrix) == 0).all()
+
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_matrix_total_is_twice_gate_count(self, circuit):
+        assert coupling_strength_matrix(circuit).sum() == 2 * circuit.num_two_qubit_gates
+
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_list_is_sorted_and_complete(self, circuit):
+        degrees = coupling_degree_list(circuit)
+        values = [d for _q, d in degrees]
+        assert values == sorted(values, reverse=True)
+        assert sorted(q for q, _d in degrees) == list(range(circuit.num_qubits))
+
+    @given(random_circuits())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sum_is_twice_gate_count(self, circuit):
+        degrees = coupling_degree_list(circuit)
+        assert sum(d for _q, d in degrees) == 2 * circuit.num_two_qubit_gates
+
+
+# ---------------------------------------------------------------------------
+# Layout and bus selection invariants
+# ---------------------------------------------------------------------------
+
+
+class TestLayoutProperties:
+    @given(random_circuits(max_qubits=7, max_gates=25))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_layout_places_every_qubit_once(self, circuit):
+        result = design_layout(profile_circuit(circuit))
+        coords = result.lattice.coordinates()
+        assert sorted(coords) == list(range(circuit.num_qubits))
+        assert len(set(coords.values())) == circuit.num_qubits
+
+    @given(random_circuits(max_qubits=7, max_gates=25))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_layout_patch_is_lattice_connected(self, circuit):
+        result = design_layout(profile_circuit(circuit))
+        lattice = result.lattice
+        if lattice.num_qubits == 1:
+            return
+        # BFS over lattice adjacency must reach every placed qubit.
+        start = lattice.qubits[0]
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in lattice.neighbors_of_qubit(current):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        assert seen == set(lattice.qubits)
+
+    @given(connected_circuits(), st.integers(0, 6))
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_bus_selection_never_violates_prohibition(self, circuit, max_buses):
+        profile = profile_circuit(circuit)
+        layout = design_layout(profile)
+        squares = select_four_qubit_buses(layout.lattice, profile, max_buses).selected_squares
+        assert len(squares) <= max_buses
+        for i in range(len(squares)):
+            for j in range(i + 1, len(squares)):
+                assert not squares[i].is_adjacent_to(squares[j])
+
+    @given(connected_circuits(), st.integers(0, 4))
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_generated_architectures_always_valid(self, circuit, max_buses):
+        profile = profile_circuit(circuit)
+        layout = design_layout(profile)
+        squares = select_four_qubit_buses(layout.lattice, profile, max_buses).selected_squares
+        arch = Architecture.from_layout("prop", layout.lattice, four_qubit_squares=squares)
+        assert arch.is_valid(), arch.validate()
+
+
+# ---------------------------------------------------------------------------
+# Collision condition invariants
+# ---------------------------------------------------------------------------
+
+FREQS = st.floats(min_value=4.8, max_value=5.6, allow_nan=False)
+
+
+class TestCollisionProperties:
+    @given(FREQS, FREQS)
+    @settings(max_examples=200, deadline=None)
+    def test_pair_conditions_symmetric_under_swap(self, f1, f2):
+        assert set(check_pair_collisions(f1, f2)) == set(check_pair_collisions(f2, f1))
+
+    @given(FREQS, FREQS, FREQS)
+    @settings(max_examples=200, deadline=None)
+    def test_triple_conditions_symmetric_in_spectators(self, fj, fi, fk):
+        assert set(check_triple_collisions(fj, fi, fk)) == set(
+            check_triple_collisions(fj, fk, fi)
+        )
+
+    @given(FREQS)
+    @settings(max_examples=100, deadline=None)
+    def test_identical_frequencies_always_collide(self, f):
+        from repro.collision.conditions import CollisionCondition
+
+        assert CollisionCondition.SAME_FREQUENCY in check_pair_collisions(f, f)
+
+
+# ---------------------------------------------------------------------------
+# Lattice / frequency-scheme invariants
+# ---------------------------------------------------------------------------
+
+
+class TestHardwareProperties:
+    @given(NODES, NODES)
+    @settings(max_examples=100, deadline=None)
+    def test_manhattan_distance_is_a_metric(self, a, b):
+        assert manhattan_distance(a, b) >= 0
+        assert manhattan_distance(a, b) == manhattan_distance(b, a)
+        assert (manhattan_distance(a, b) == 0) == (a == b)
+
+    @given(NODES, NODES, NODES)
+    @settings(max_examples=100, deadline=None)
+    def test_manhattan_triangle_inequality(self, a, b, c):
+        assert manhattan_distance(a, c) <= manhattan_distance(a, b) + manhattan_distance(b, c)
+
+    @given(NODES)
+    @settings(max_examples=100, deadline=None)
+    def test_five_frequency_adjacent_labels_differ(self, node):
+        square = Square(node)
+        label = five_frequency_label(node)
+        x, y = node
+        assert label != five_frequency_label((x + 1, y))
+        assert label != five_frequency_label((x, y + 1))
+        assert 0 <= label < 5
+        assert len(square.corners) == 4
+
+
+# ---------------------------------------------------------------------------
+# Routing invariants
+# ---------------------------------------------------------------------------
+
+
+class TestRoutingProperties:
+    @given(connected_circuits(max_qubits=6, max_extra_gates=15))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_routing_preserves_gates_and_respects_coupling(self, circuit):
+        profile = profile_circuit(circuit)
+        layout = design_layout(profile)
+        arch = Architecture.from_layout("route-prop", layout.lattice)
+        result = route_circuit(circuit, arch, profile)
+        # route_circuit internally verifies the routed circuit; check the counts here.
+        non_swap = [g for g in result.routed_circuit if g.name != "swap"]
+        assert len(non_swap) == len(circuit)
+        assert result.total_gates == len(circuit) + 3 * result.num_swaps
+
+    @given(connected_circuits(max_qubits=6, max_extra_gates=10))
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    def test_initial_mapping_is_always_a_bijection(self, circuit):
+        profile = profile_circuit(circuit)
+        layout = design_layout(profile)
+        arch = Architecture.from_layout("map-prop", layout.lattice)
+        mapping = initial_mapping(profile, arch)
+        assert sorted(mapping) == list(range(circuit.num_qubits))
+        assert len(set(mapping.values())) == circuit.num_qubits
+        distances = DistanceMatrix(arch)
+        assert distances.is_connected()

@@ -1,0 +1,96 @@
+"""Unit tests for OpenQASM 2.0 import/export."""
+
+import math
+
+import pytest
+
+from repro.circuit import QuantumCircuit, circuit_from_qasm, circuit_to_qasm, cx, h, measure
+from repro.circuit.gates import rz
+from repro.circuit.qasm import QasmError
+
+
+class TestExport:
+    def test_header_and_registers(self):
+        text = circuit_to_qasm(QuantumCircuit(3))
+        assert "OPENQASM 2.0;" in text
+        assert "qreg q[3];" in text
+        assert "creg c[3];" in text
+
+    def test_gate_lines(self):
+        circuit = QuantumCircuit(2).extend([h(0), cx(0, 1), measure(1)])
+        text = circuit_to_qasm(circuit)
+        assert "h q[0];" in text
+        assert "cx q[0],q[1];" in text
+        assert "measure q[1] -> c[1];" in text
+
+    def test_parameterised_gate_exported(self):
+        text = circuit_to_qasm(QuantumCircuit(1).extend([rz(0.25, 0)]))
+        assert "rz(0.25) q[0];" in text
+
+
+class TestImport:
+    def test_simple_roundtrip(self):
+        original = QuantumCircuit(3, name="rt").extend([h(0), cx(0, 1), cx(1, 2), measure(2)])
+        recovered = circuit_from_qasm(circuit_to_qasm(original))
+        assert recovered.num_qubits == 3
+        assert [g.name for g in recovered] == [g.name for g in original]
+        assert [g.qubits for g in recovered] == [g.qubits for g in original]
+
+    def test_roundtrip_preserves_parameters(self):
+        original = QuantumCircuit(1).extend([rz(1.234, 0)])
+        recovered = circuit_from_qasm(circuit_to_qasm(original))
+        assert recovered[0].params[0] == pytest.approx(1.234)
+
+    def test_pi_expression(self):
+        text = 'OPENQASM 2.0;\ninclude "qelib1.inc";\nqreg q[1];\nrz(pi/2) q[0];\n'
+        circuit = circuit_from_qasm(text)
+        assert circuit[0].params[0] == pytest.approx(math.pi / 2)
+
+    def test_multiple_registers_are_concatenated(self):
+        text = (
+            "OPENQASM 2.0;\nqreg a[2];\nqreg b[2];\ncx a[1],b[0];\n"
+        )
+        circuit = circuit_from_qasm(text)
+        assert circuit.num_qubits == 4
+        assert circuit[0].qubits == (1, 2)
+
+    def test_comments_are_ignored(self):
+        text = "OPENQASM 2.0;\n// a comment\nqreg q[1];\nh q[0]; // trailing\n"
+        assert len(circuit_from_qasm(text)) == 1
+
+    def test_ccx_is_decomposed_on_import(self):
+        text = "OPENQASM 2.0;\nqreg q[3];\nccx q[0],q[1],q[2];\n"
+        circuit = circuit_from_qasm(text)
+        assert all(g.name == "cx" or not g.is_two_qubit for g in circuit)
+        assert circuit.num_two_qubit_gates == 6
+
+    def test_barrier_with_register_argument(self):
+        text = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nbarrier q;\nh q[1];\n"
+        circuit = circuit_from_qasm(text)
+        assert any(g.name == "barrier" for g in circuit)
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm("OPENQASM 2.0;\nqreg q[1];\nfoo q[0];\n")
+
+    def test_unknown_register_rejected(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm("OPENQASM 2.0;\nqreg q[1];\nh r[0];\n")
+
+    def test_missing_qreg_rejected(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm("OPENQASM 2.0;\nh q[0];\n")
+
+    def test_unsafe_parameter_rejected(self):
+        with pytest.raises(QasmError):
+            circuit_from_qasm("OPENQASM 2.0;\nqreg q[1];\nrz(__import__) q[0];\n")
+
+
+class TestBenchmarkRoundTrip:
+    def test_qft_roundtrip_preserves_two_qubit_structure(self):
+        from repro.benchmarks import qft_circuit
+        from repro.profiling import coupling_strength_matrix
+
+        original = qft_circuit(5)
+        recovered = circuit_from_qasm(circuit_to_qasm(original))
+        assert (coupling_strength_matrix(original) == coupling_strength_matrix(recovered)).all()

@@ -1,0 +1,82 @@
+"""Tests for the MappingResult performance metric."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit, cx, h
+from repro.hardware import Architecture, Lattice, ibm_16q_2x8
+from repro.mapping import MappingResult, route_circuit
+from repro.mapping.router import CNOTS_PER_SWAP
+
+
+class TestMappingResult:
+    def test_total_gates_charges_three_cnots_per_swap(self):
+        result = MappingResult(
+            circuit_name="c",
+            architecture_name="a",
+            original_gates=100,
+            original_two_qubit_gates=40,
+            num_swaps=7,
+            initial_mapping={},
+            final_mapping={},
+        )
+        assert result.total_gates == 100 + 3 * 7
+        assert result.total_two_qubit_gates == 40 + 3 * 7
+        assert result.overhead_gates == 21
+        assert result.overhead_ratio == pytest.approx(0.21)
+
+    def test_zero_original_gates_overhead_ratio(self):
+        result = MappingResult("c", "a", 0, 0, 0, {}, {})
+        assert result.overhead_ratio == 0.0
+
+    def test_summary_keys(self):
+        result = MappingResult("c", "a", 10, 4, 1, {}, {})
+        summary = result.summary()
+        assert summary["total_gates"] == 13
+        assert summary["num_swaps"] == 1
+
+    def test_cnots_per_swap_constant(self):
+        assert CNOTS_PER_SWAP == 3
+
+
+class TestRouteCircuit:
+    def test_route_preserves_original_gate_count(self, line_circuit):
+        result = route_circuit(line_circuit, ibm_16q_2x8())
+        assert result.original_gates == len(line_circuit)
+        assert result.original_two_qubit_gates == line_circuit.num_two_qubit_gates
+
+    def test_total_gates_consistent_with_swaps(self, line_circuit):
+        result = route_circuit(line_circuit, ibm_16q_2x8())
+        assert result.total_gates == result.original_gates + 3 * result.num_swaps
+
+    def test_keep_routed_circuit_flag(self, line_circuit):
+        kept = route_circuit(line_circuit, ibm_16q_2x8(), keep_routed_circuit=True)
+        dropped = route_circuit(line_circuit, ibm_16q_2x8(), keep_routed_circuit=False)
+        assert kept.routed_circuit is not None
+        assert dropped.routed_circuit is None
+        assert kept.total_gates == dropped.total_gates
+
+    def test_disconnected_architecture_rejected(self):
+        circuit = QuantumCircuit(2).extend([cx(0, 1)])
+        disconnected = Architecture(
+            name="disc",
+            lattice=Lattice.from_coordinates({0: (0, 0), 1: (5, 5)}),
+            buses=[],
+        )
+        with pytest.raises(ValueError):
+            route_circuit(circuit, disconnected)
+
+    def test_architecture_smaller_than_circuit_rejected(self):
+        circuit = QuantumCircuit(6).extend([cx(0, 5)])
+        small = Architecture.from_layout("small", Lattice.rectangle(1, 3))
+        with pytest.raises(ValueError):
+            route_circuit(circuit, small)
+
+    def test_deterministic_gate_count(self, line_circuit):
+        first = route_circuit(line_circuit, ibm_16q_2x8()).total_gates
+        second = route_circuit(line_circuit, ibm_16q_2x8()).total_gates
+        assert first == second
+
+    def test_result_names_recorded(self, line_circuit):
+        result = route_circuit(line_circuit, ibm_16q_2x8())
+        assert result.circuit_name == line_circuit.name
+        assert result.architecture_name == "ibm_16q_2x8_2qbus"

@@ -1,0 +1,118 @@
+"""Tests for the SABRE-style SWAP router."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit, cx, h, measure
+from repro.hardware import Architecture, Lattice, ibm_16q_2x8
+from repro.mapping import SabreRouter, SabreParameters, route_circuit
+from repro.mapping.router import verify_routing
+from repro.profiling import profile_circuit
+
+
+def chain_architecture(n):
+    return Architecture.from_layout("chain", Lattice.rectangle(1, n))
+
+
+class TestRouterCore:
+    def test_already_executable_circuit_needs_no_swaps(self):
+        circuit = QuantumCircuit(3).extend([cx(0, 1), cx(1, 2), h(0), measure(2)])
+        arch = chain_architecture(3)
+        router = SabreRouter(arch)
+        routed, num_swaps, _final = router.route(circuit, {0: 0, 1: 1, 2: 2})
+        assert num_swaps == 0
+        assert len(routed) == len(circuit)
+
+    def test_distant_gate_requires_swaps(self):
+        circuit = QuantumCircuit(4).extend([cx(0, 3)])
+        arch = chain_architecture(4)
+        router = SabreRouter(arch)
+        routed, num_swaps, _final = router.route(circuit, {0: 0, 1: 1, 2: 2, 3: 3})
+        assert num_swaps >= 2
+        assert sum(1 for gate in routed if gate.name == "swap") == num_swaps
+
+    def test_single_qubit_gates_always_executable(self):
+        circuit = QuantumCircuit(2).extend([h(0), h(1), measure(0)])
+        arch = chain_architecture(2)
+        routed, num_swaps, _final = SabreRouter(arch).route(circuit, {0: 0, 1: 1})
+        assert num_swaps == 0
+        assert len(routed) == 3
+
+    def test_final_mapping_tracks_swaps(self):
+        circuit = QuantumCircuit(3).extend([cx(0, 2)])
+        arch = chain_architecture(3)
+        _routed, num_swaps, final = SabreRouter(arch).route(circuit, {0: 0, 1: 1, 2: 2})
+        assert num_swaps >= 1
+        assert sorted(final.values()) == sorted({0, 1, 2} & set(final.values()))
+        assert len(set(final.values())) == 3
+
+    def test_invalid_initial_mapping_rejected(self):
+        circuit = QuantumCircuit(3).extend([cx(0, 1)])
+        arch = chain_architecture(3)
+        router = SabreRouter(arch)
+        with pytest.raises(ValueError):
+            router.route(circuit, {0: 0, 1: 0, 2: 1})
+        with pytest.raises(ValueError):
+            router.route(circuit, {0: 0, 1: 1})
+        with pytest.raises(ValueError):
+            router.route(circuit, {0: 0, 1: 1, 2: 99})
+
+    def test_all_routed_two_qubit_gates_on_coupled_pairs(self, line_circuit):
+        arch = ibm_16q_2x8()
+        result = route_circuit(line_circuit, arch)
+        coupled = set()
+        for a, b in arch.coupling_edges():
+            coupled.add((a, b))
+            coupled.add((b, a))
+        for gate in result.routed_circuit:
+            if gate.is_two_qubit:
+                assert tuple(gate.qubits) in coupled
+
+    def test_router_parameters_accepted(self, line_circuit):
+        params = SabreParameters(extended_set_size=5, extended_set_weight=0.3)
+        result = route_circuit(line_circuit, ibm_16q_2x8(), parameters=params)
+        assert result.total_gates >= len(line_circuit)
+
+
+class TestRoutingVerification:
+    def test_verify_accepts_correct_routing(self, line_circuit):
+        arch = ibm_16q_2x8()
+        result = route_circuit(line_circuit, arch)
+        verify_routing(line_circuit, result.routed_circuit, arch, result.initial_mapping)
+
+    def test_verify_rejects_dropped_gate(self, line_circuit):
+        arch = ibm_16q_2x8()
+        result = route_circuit(line_circuit, arch)
+        truncated = QuantumCircuit(result.routed_circuit.num_qubits)
+        truncated.extend(result.routed_circuit.gates[:-1])
+        with pytest.raises(AssertionError):
+            verify_routing(line_circuit, truncated, arch, result.initial_mapping)
+
+    def test_verify_rejects_uncoupled_gate(self, line_circuit):
+        arch = ibm_16q_2x8()
+        result = route_circuit(line_circuit, arch)
+        corrupted = QuantumCircuit(result.routed_circuit.num_qubits)
+        corrupted.extend(result.routed_circuit.gates)
+        corrupted.append(cx(0, 15))
+        with pytest.raises(AssertionError):
+            verify_routing(line_circuit, corrupted, arch, result.initial_mapping)
+
+
+class TestDenseCouplingAdvantage:
+    def test_more_connections_never_hurt_much(self):
+        """4-qubit buses (denser coupling) should not increase the swap count materially."""
+        from repro.benchmarks import get_benchmark
+
+        circuit = get_benchmark("sym6_145")
+        sparse = route_circuit(circuit, ibm_16q_2x8(use_four_qubit_buses=False))
+        dense = route_circuit(circuit, ibm_16q_2x8(use_four_qubit_buses=True))
+        assert dense.num_swaps <= sparse.num_swaps * 1.1 + 5
+
+    def test_perfect_layout_for_chain_circuit_needs_no_swaps(self):
+        """Section 5.3.1: a chain program on a chain layout maps perfectly."""
+        from repro.benchmarks import ising_model_circuit
+        from repro.design import DesignFlow, DesignOptions
+
+        circuit = ising_model_circuit(8, trotter_steps=2)
+        arch = DesignFlow(circuit, DesignOptions(local_trials=200)).design(0)
+        result = route_circuit(circuit, arch)
+        assert result.num_swaps == 0

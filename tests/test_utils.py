@@ -1,0 +1,23 @@
+"""Tests for shared utilities."""
+
+from repro.utils import deterministic_rng, seed_for
+
+
+class TestSeeding:
+    def test_seed_is_stable(self):
+        assert seed_for("a", 1) == seed_for("a", 1)
+
+    def test_different_labels_give_different_seeds(self):
+        assert seed_for("a") != seed_for("b")
+        assert seed_for("a", 1) != seed_for("a", 2)
+
+    def test_seed_is_32_bit(self):
+        assert 0 <= seed_for("anything") < 2 ** 32
+
+    def test_deterministic_rng_reproducible(self):
+        first = deterministic_rng("x", 3).random(5)
+        second = deterministic_rng("x", 3).random(5)
+        assert (first == second).all()
+
+    def test_deterministic_rng_differs_across_labels(self):
+        assert (deterministic_rng("x").random(5) != deterministic_rng("y").random(5)).any()

@@ -1,0 +1,90 @@
+"""Tests for the text-based visualization helpers."""
+
+import numpy as np
+
+from repro.hardware import Architecture, Lattice, ibm_16q_2x8
+from repro.visualization import (
+    render_architecture,
+    render_coupling_matrix,
+    render_lattice,
+    render_pareto_scatter,
+)
+
+
+class TestLatticeRendering:
+    def test_empty_lattice(self):
+        assert "empty" in render_lattice(Lattice())
+
+    def test_grid_rendering_contains_all_qubits(self):
+        text = render_lattice(Lattice.rectangle(2, 3))
+        for qubit in range(6):
+            assert f"q{qubit}" in text
+
+    def test_negative_coordinates_are_normalized(self):
+        lattice = Lattice.from_coordinates({0: (-2, -2), 1: (-1, -2)})
+        text = render_lattice(lattice)
+        assert "q0" in text and "q1" in text
+
+    def test_row_count_matches_height(self):
+        text = render_lattice(Lattice.rectangle(3, 2))
+        assert len(text.splitlines()) == 3
+
+
+class TestArchitectureRendering:
+    def test_mentions_name_and_resources(self):
+        arch = ibm_16q_2x8(use_four_qubit_buses=True)
+        text = render_architecture(arch)
+        assert arch.name in text
+        assert "four-qubit buses" in text
+        assert "frequencies" in text
+
+    def test_architecture_without_frequencies(self):
+        arch = Architecture.from_layout("bare", Lattice.rectangle(2, 2))
+        text = render_architecture(arch)
+        assert "frequencies" not in text
+
+
+class TestMatrixRendering:
+    def test_matrix_values_present(self):
+        matrix = np.array([[0, 3], [3, 0]])
+        text = render_coupling_matrix(matrix)
+        assert "3" in text
+        assert "q1" in text
+
+    def test_row_count(self):
+        matrix = np.zeros((4, 4), dtype=int)
+        assert len(render_coupling_matrix(matrix).splitlines()) == 5
+
+
+class TestParetoScatter:
+    def test_scatter_contains_legend_and_axes(self):
+        from repro.evaluation.experiment import DataPoint, ExperimentResult
+        from repro.evaluation import ExperimentConfig
+
+        result = ExperimentResult(benchmark="demo")
+        result.points = [
+            DataPoint("demo", ExperimentConfig.IBM, "ibm1", 16, 22, 0, 0.01, 2000),
+            DataPoint("demo", ExperimentConfig.EFF_FULL, "eff0", 7, 8, 0, 0.2, 1800),
+        ]
+        result.normalize()
+        text = render_pareto_scatter(result)
+        assert "demo" in text
+        assert "eff-full" in text
+        assert "#" in text and "o" in text
+
+    def test_empty_result(self):
+        from repro.evaluation.experiment import ExperimentResult
+
+        assert "no data" in render_pareto_scatter(ExperimentResult(benchmark="empty"))
+
+    def test_zero_yield_clamped_to_bottom(self):
+        from repro.evaluation.experiment import DataPoint, ExperimentResult
+        from repro.evaluation import ExperimentConfig
+
+        result = ExperimentResult(benchmark="clamp")
+        result.points = [
+            DataPoint("clamp", ExperimentConfig.IBM, "dead", 20, 43, 6, 0.0, 2500),
+        ]
+        result.normalize()
+        text = render_pareto_scatter(result)
+        assert "#" in text

@@ -1,0 +1,108 @@
+"""Tests for the Monte Carlo yield simulator (paper Section 4.3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.collision import YieldSimulator, estimate_yield
+from repro.hardware import Architecture, Lattice, ibm_16q_2x8, ibm_20q_4x5
+from repro.hardware.frequency import five_frequency_scheme
+
+
+def chain_architecture(num_qubits, frequencies=None):
+    """A 1 x num_qubits chain with optional explicit frequencies."""
+    lattice = Lattice.rectangle(1, num_qubits)
+    return Architecture.from_layout("chain", lattice, frequencies=frequencies or {})
+
+
+class TestBasicBehaviour:
+    def test_zero_noise_good_design_yields_one(self):
+        arch = chain_architecture(3, {0: 5.05, 1: 5.17, 2: 5.29})
+        estimate = YieldSimulator(trials=500, sigma_ghz=0.0, seed=1).estimate(arch)
+        assert estimate.yield_rate == 1.0
+        assert estimate.successes == 500
+
+    def test_zero_noise_colliding_design_yields_zero(self):
+        arch = chain_architecture(2, {0: 5.10, 1: 5.11})
+        estimate = YieldSimulator(trials=200, sigma_ghz=0.0, seed=1).estimate(arch)
+        assert estimate.yield_rate == 0.0
+
+    def test_missing_frequencies_rejected(self):
+        arch = chain_architecture(3)
+        with pytest.raises(ValueError):
+            YieldSimulator(trials=10).estimate(arch)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            YieldSimulator(trials=0)
+        with pytest.raises(ValueError):
+            YieldSimulator(sigma_ghz=-1.0)
+
+    def test_seeded_runs_are_reproducible(self):
+        arch = ibm_16q_2x8()
+        first = YieldSimulator(trials=2000, seed=42).estimate(arch)
+        second = YieldSimulator(trials=2000, seed=42).estimate(arch)
+        assert first.yield_rate == second.yield_rate
+
+    def test_estimate_fields_consistent(self):
+        arch = chain_architecture(4, {0: 5.04, 1: 5.16, 2: 5.28, 3: 5.08})
+        estimate = YieldSimulator(trials=1000, seed=3).estimate(arch)
+        assert estimate.trials == 1000
+        assert estimate.successes == round(estimate.yield_rate * 1000)
+        assert 0.0 <= estimate.failure_rate <= 1.0
+        assert estimate.standard_error() >= 0.0
+
+    def test_estimate_yield_convenience_wrapper(self):
+        arch = chain_architecture(3, {0: 5.05, 1: 5.17, 2: 5.29})
+        assert estimate_yield(arch, trials=200, sigma_ghz=0.0).yield_rate == 1.0
+
+
+class TestPhysicalTrends:
+    """Directional checks that mirror the paper's qualitative claims."""
+
+    def test_more_noise_means_lower_yield(self):
+        arch = chain_architecture(5, {0: 5.04, 1: 5.16, 2: 5.28, 3: 5.08, 4: 5.20})
+        low_noise = YieldSimulator(trials=4000, sigma_ghz=0.010, seed=5).estimate(arch)
+        high_noise = YieldSimulator(trials=4000, sigma_ghz=0.060, seed=5).estimate(arch)
+        assert low_noise.yield_rate > high_noise.yield_rate
+
+    def test_more_connections_mean_lower_yield(self):
+        sparse = ibm_16q_2x8(use_four_qubit_buses=False)
+        dense = ibm_16q_2x8(use_four_qubit_buses=True)
+        simulator = YieldSimulator(trials=6000, seed=9)
+        assert simulator.estimate(sparse).yield_rate > simulator.estimate(dense).yield_rate
+
+    def test_larger_chip_has_lower_yield(self):
+        simulator = YieldSimulator(trials=6000, seed=9)
+        yield_16 = simulator.estimate(ibm_16q_2x8()).yield_rate
+        yield_20 = simulator.estimate(ibm_20q_4x5()).yield_rate
+        assert yield_20 <= yield_16
+
+    def test_paper_motivation_low_yield_at_current_precision(self):
+        """Section 1: at sigma ~ 130 MHz a 16+ qubit chip yields below 1%."""
+        arch = ibm_16q_2x8(use_four_qubit_buses=True)
+        estimate = YieldSimulator(trials=4000, sigma_ghz=0.130, seed=2).estimate(arch)
+        assert estimate.yield_rate < 0.01
+
+    def test_isolated_qubits_always_yield(self):
+        lattice = Lattice.from_coordinates({0: (0, 0), 1: (5, 5)})
+        arch = Architecture(
+            name="no-connections", lattice=lattice, buses=[], frequencies={0: 5.1, 1: 5.1}
+        )
+        estimate = YieldSimulator(trials=500, sigma_ghz=0.05, seed=1).estimate(arch)
+        assert estimate.yield_rate == 1.0
+
+
+class TestEstimateFromArrays:
+    def test_local_region_interface(self):
+        simulator = YieldSimulator(trials=2000, sigma_ghz=0.0, seed=1)
+        estimate = simulator.estimate_from_arrays(
+            np.array([5.05, 5.17, 5.29]), pairs=[(0, 1), (1, 2)], triples=[(1, 0, 2)]
+        )
+        assert estimate.yield_rate == 1.0
+
+    def test_collision_mask_shape(self):
+        simulator = YieldSimulator(trials=10, seed=1)
+        sampled = np.full((10, 3), 5.1)
+        mask = simulator.collision_mask(sampled, pairs=[(0, 1)], triples=[])
+        assert mask.shape == (10,)
+        assert mask.all()  # identical frequencies always collide (condition 1)
