@@ -8,6 +8,9 @@ Subcommands:
   generated architecture series with yield estimates.
 * ``evaluate <benchmark> [...]`` — run the Figure 10 experiment for one or
   more benchmarks and print the data tables and ASCII Pareto plots.
+* ``sweep <benchmark> [...]`` — the same experiment grid sharded across
+  worker processes (``--jobs N``) with deterministic per-point seeds:
+  results are byte-identical for every job count.
 * ``list`` — list the available benchmarks.
 """
 
@@ -20,8 +23,14 @@ from typing import List, Optional, Sequence
 from repro.benchmarks.library import BENCHMARK_NAMES, benchmark_info, get_benchmark
 from repro.collision.yield_simulator import YieldSimulator
 from repro.design.flow import DesignFlow, DesignOptions
-from repro.evaluation.experiment import EvaluationSettings, evaluate_benchmark
+from repro.evaluation.configs import ExperimentConfig
+from repro.evaluation.experiment import (
+    DEFAULT_CONFIGS,
+    EvaluationSettings,
+    evaluate_benchmark,
+)
 from repro.evaluation.figures import format_figure10_table
+from repro.evaluation.parallel import run_sweep
 from repro.profiling.profiler import profile_circuit
 from repro.visualization.ascii_art import render_architecture, render_coupling_matrix
 from repro.visualization.pareto_plot import render_pareto_scatter
@@ -58,6 +67,25 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser.add_argument(
         "--plot", action="store_true", help="also print an ASCII Pareto scatter plot"
     )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep",
+        help="run the evaluation grid sharded across worker processes",
+    )
+    sweep_parser.add_argument("benchmarks", nargs="+", help="benchmark names (see 'list')")
+    sweep_parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker process count (results are identical for any value)",
+    )
+    sweep_parser.add_argument("--trials", type=int, default=10_000)
+    sweep_parser.add_argument(
+        "--configs", nargs="+", default=None,
+        choices=[config.value for config in ExperimentConfig],
+        help="experiment configurations to sweep (default: all five)",
+    )
+    sweep_parser.add_argument(
+        "--plot", action="store_true", help="also print an ASCII Pareto scatter plot"
+    )
     return parser
 
 
@@ -72,6 +100,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_design(args.benchmark, args.buses, args.trials)
     if args.command == "evaluate":
         return _cmd_evaluate(args.benchmarks, args.trials, args.plot)
+    if args.command == "sweep":
+        return _cmd_sweep(args.benchmarks, args.jobs, args.trials, args.configs, args.plot)
     return 2
 
 
@@ -112,16 +142,41 @@ def _cmd_design(benchmark: str, buses: Optional[int], trials: int) -> int:
     return 0
 
 
+def _print_result(result, plot: bool) -> None:
+    print(format_figure10_table(result))
+    if plot:
+        print()
+        print(render_pareto_scatter(result))
+    print()
+
+
+def _cmd_sweep(
+    benchmarks: List[str],
+    jobs: int,
+    trials: int,
+    config_values: Optional[List[str]],
+    plot: bool,
+) -> int:
+    # Canonicalize up front: fails fast on unknown names (before forking
+    # workers) and collapses aliases/duplicates onto the sweep's keys.
+    names = list(dict.fromkeys(get_benchmark(name).name for name in benchmarks))
+    configs = (
+        tuple(ExperimentConfig(value) for value in config_values)
+        if config_values
+        else DEFAULT_CONFIGS
+    )
+    settings = EvaluationSettings(yield_trials=trials)
+    results = run_sweep(names, jobs=jobs, settings=settings, configs=configs)
+    for name in names:
+        _print_result(results[name], plot)
+    return 0
+
+
 def _cmd_evaluate(benchmarks: List[str], trials: int, plot: bool) -> int:
     settings = EvaluationSettings(yield_trials=trials)
     for name in benchmarks:
         circuit = get_benchmark(name)
-        result = evaluate_benchmark(circuit, settings=settings)
-        print(format_figure10_table(result))
-        if plot:
-            print()
-            print(render_pareto_scatter(result))
-        print()
+        _print_result(evaluate_benchmark(circuit, settings=settings), plot)
     return 0
 
 

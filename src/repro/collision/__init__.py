@@ -16,7 +16,12 @@ from repro.collision.conditions import (
     check_triple_collisions,
     find_collisions,
 )
-from repro.collision.yield_simulator import YieldEstimate, YieldSimulator, estimate_yield
+from repro.collision.yield_simulator import (
+    YieldEstimate,
+    YieldSimulator,
+    collision_index_arrays,
+    estimate_yield,
+)
 from repro.collision.analytic import (
     AnalyticYieldEstimate,
     estimate_yield_analytic,
@@ -38,5 +43,6 @@ __all__ = [
     "find_collisions",
     "YieldSimulator",
     "YieldEstimate",
+    "collision_index_arrays",
     "estimate_yield",
 ]

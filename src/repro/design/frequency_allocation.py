@@ -26,9 +26,8 @@ from repro.collision.conditions import (
     ANHARMONICITY_GHZ,
     CollisionThresholds,
     DEFAULT_THRESHOLDS,
-    pair_collision_mask,
-    triple_collision_mask,
 )
+from repro.collision.yield_simulator import YieldSimulator
 from repro.hardware.architecture import Architecture
 from repro.hardware.frequency import (
     DEFAULT_SIGMA_GHZ,
@@ -163,37 +162,30 @@ class FrequencyAllocator:
         index_of = {q: i for i, q in enumerate(region_order)}
         qubit_index = index_of[qubit]
         base = np.array([assigned.get(q, 0.0) for q in region_order])
-        pair_idx = np.array([[index_of[a], index_of[b]] for a, b in local_pairs], dtype=int)
-        pair_idx = pair_idx.reshape(-1, 2)
-        triple_idx = np.array(
-            [[index_of[j], index_of[i], index_of[k]] for j, i, k in local_triples], dtype=int
-        ).reshape(-1, 3)
+        local_pair_idx = tuple((index_of[a], index_of[b]) for a, b in local_pairs)
+        local_triple_idx = tuple(
+            (index_of[j], index_of[i], index_of[k]) for j, i, k in local_triples
+        )
 
-        # Common random numbers: the same fabrication noise is reused for every
-        # candidate so that the comparison reflects the designed frequencies,
-        # not the particular noise draw.
-        rng = np.random.default_rng(seed_for("freq-alloc", self.seed, qubit))
-        noise = rng.normal(0.0, self.sigma_ghz, size=(self.local_trials, len(region_order)))
+        # Common random numbers: the batched simulator evaluates every
+        # candidate against the same fabrication noise tensor, so the argmax
+        # reflects the designed frequencies, not the particular noise draw.
+        simulator = YieldSimulator(
+            trials=self.local_trials,
+            sigma_ghz=self.sigma_ghz,
+            delta_ghz=self.delta_ghz,
+            thresholds=self.thresholds,
+            seed=seed_for("freq-alloc", self.seed, qubit),
+        )
+        designed_batch = np.repeat(base[None, :], len(candidates), axis=0)
+        designed_batch[:, qubit_index] = candidates
+        estimates = simulator.estimate_batch(designed_batch, local_pair_idx, local_triple_idx)
 
         best_candidate = float(candidates[0])
         best_yield = -1.0
-        for candidate in candidates:
-            designed = base.copy()
-            designed[qubit_index] = candidate
-            sampled = designed[None, :] + noise
-            failed = pair_collision_mask(
-                sampled, pair_idx[:, 0], pair_idx[:, 1], self.delta_ghz, self.thresholds
-            ) | triple_collision_mask(
-                sampled,
-                triple_idx[:, 0],
-                triple_idx[:, 1],
-                triple_idx[:, 2],
-                self.delta_ghz,
-                self.thresholds,
-            )
-            local_yield = 1.0 - failed.mean()
-            if local_yield > best_yield + 1e-12:
-                best_yield = local_yield
+        for candidate, estimate in zip(candidates, estimates):
+            if estimate.yield_rate > best_yield + 1e-12:
+                best_yield = estimate.yield_rate
                 best_candidate = float(candidate)
         return best_candidate
 

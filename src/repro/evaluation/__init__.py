@@ -17,7 +17,14 @@ from repro.evaluation.experiment import (
     EvaluationSettings,
     ExperimentResult,
     evaluate_benchmark,
+    evaluate_point,
     evaluate_suite,
+)
+from repro.evaluation.parallel import (
+    SweepExecutor,
+    SweepPoint,
+    run_sweep,
+    sweep_point_seed,
 )
 from repro.evaluation.pareto import is_dominated, pareto_front
 from repro.evaluation.analysis import (
@@ -36,7 +43,12 @@ __all__ = [
     "EvaluationSettings",
     "ExperimentResult",
     "evaluate_benchmark",
+    "evaluate_point",
     "evaluate_suite",
+    "SweepExecutor",
+    "SweepPoint",
+    "run_sweep",
+    "sweep_point_seed",
     "pareto_front",
     "is_dominated",
     "HeadlineComparison",

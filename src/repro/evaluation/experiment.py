@@ -136,7 +136,7 @@ def evaluate_benchmark(
             if architecture.num_qubits < circuit.num_qubits:
                 continue
             result.points.append(
-                _evaluate_point(circuit, profile, architecture, config, simulator, settings)
+                evaluate_point(circuit, profile, architecture, config, simulator, settings)
             )
     result.normalize()
     return result
@@ -154,7 +154,7 @@ def evaluate_suite(
     }
 
 
-def _evaluate_point(
+def evaluate_point(
     circuit: QuantumCircuit,
     profile: CircuitProfile,
     architecture: Architecture,
@@ -162,6 +162,7 @@ def _evaluate_point(
     simulator: YieldSimulator,
     settings: EvaluationSettings,
 ) -> DataPoint:
+    """Score one (benchmark, architecture) evaluation point of Figure 10."""
     mapping = route_circuit(
         circuit,
         architecture,

@@ -1,0 +1,201 @@
+"""Parallel design-space exploration: the ``SweepExecutor``.
+
+The paper's evaluation scores hundreds of (benchmark x configuration x
+architecture) points; each point is independent, so the sweep shards
+them across ``multiprocessing`` workers.  Two properties make the
+parallel sweep reproducible:
+
+* **Deterministic point enumeration** — architectures are generated from
+  seeded design flows, so every worker derives the same point list for a
+  given benchmark/configuration regardless of scheduling.
+* **Deterministic per-point seeds** — each point's yield simulator is
+  seeded from the point's identity (benchmark, configuration,
+  architecture index), never from worker or wall-clock state, so
+  ``--jobs 8`` produces byte-identical results to ``--jobs 1``.
+
+The executor parallelizes both phases of a sweep: architecture
+*generation* (one task per benchmark x configuration, dominated by the
+Algorithm 3 frequency search) and point *evaluation* (one task per
+architecture, dominated by routing plus the Monte Carlo yield
+simulation).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.benchmarks.library import get_benchmark
+from repro.collision.yield_simulator import YieldSimulator
+from repro.evaluation.configs import ExperimentConfig, architectures_for_config
+from repro.evaluation.experiment import (
+    DEFAULT_CONFIGS,
+    DataPoint,
+    EvaluationSettings,
+    ExperimentResult,
+    evaluate_point,
+)
+from repro.hardware.architecture import Architecture
+from repro.profiling.profiler import profile_circuit
+from repro.utils.rng import seed_for
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One independent evaluation point of a design-space sweep."""
+
+    benchmark: str
+    config: ExperimentConfig
+    arch_index: int
+    architecture: Architecture
+
+
+def sweep_point_seed(base_seed: int, benchmark: str, config_value: str, arch_index: int) -> int:
+    """The yield-simulator seed of one sweep point.
+
+    Derived solely from the point's identity (plus the sweep-level base
+    seed), so the schedule that evaluated the point — worker id, arrival
+    order, job count — can never influence the result.
+
+    Note this intentionally differs from :func:`evaluate_benchmark`,
+    which reuses one seed for every architecture (common random numbers
+    *across* architectures): per-point seeds keep every point
+    independently reproducible — it can be re-run, retried, or sharded
+    in isolation and still produce its sweep value — at the cost of
+    slightly noisier cross-architecture yield comparisons.  Candidate
+    comparisons *inside* a point (Algorithm 3) still use common random
+    numbers via ``estimate_batch``.
+    """
+    return seed_for("sweep-yield", base_seed, benchmark, config_value, arch_index)
+
+
+# ---------------------------------------------------------------------------
+# Worker task functions.  Must be module-level so they pickle under every
+# multiprocessing start method; they receive plain tuples and re-derive
+# circuits/profiles locally to keep the pickled payload small.
+# ---------------------------------------------------------------------------
+
+
+def _generate_task(
+    task: Tuple[str, str, EvaluationSettings],
+) -> List[Tuple[str, str, int, Architecture]]:
+    benchmark, config_value, settings = task
+    circuit = get_benchmark(benchmark)
+    config = ExperimentConfig(config_value)
+    architectures = architectures_for_config(
+        circuit,
+        config,
+        random_bus_seeds=settings.random_bus_seeds,
+        frequency_local_trials=settings.frequency_local_trials,
+    )
+    return [
+        (benchmark, config_value, index, architecture)
+        for index, architecture in enumerate(architectures)
+        if architecture.num_qubits >= circuit.num_qubits
+    ]
+
+
+def _evaluate_task(
+    task: Tuple[str, str, int, Architecture, EvaluationSettings],
+) -> DataPoint:
+    benchmark, config_value, arch_index, architecture, settings = task
+    circuit = get_benchmark(benchmark)
+    profile = profile_circuit(circuit)
+    simulator = YieldSimulator(
+        trials=settings.yield_trials,
+        sigma_ghz=settings.sigma_ghz,
+        seed=sweep_point_seed(settings.yield_seed, benchmark, config_value, arch_index),
+    )
+    return evaluate_point(
+        circuit, profile, architecture, ExperimentConfig(config_value), simulator, settings
+    )
+
+
+class SweepExecutor:
+    """Shards (benchmark x config x architecture) points across processes.
+
+    Args:
+        settings: Evaluation knobs shared by every point.
+        configs: Experiment configurations to sweep (Figure 10's five by
+            default).
+        jobs: Worker process count; ``1`` runs everything in-process.
+            Results are byte-identical for any value.
+    """
+
+    def __init__(
+        self,
+        settings: Optional[EvaluationSettings] = None,
+        configs: Iterable[ExperimentConfig] = DEFAULT_CONFIGS,
+        jobs: int = 1,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.settings = settings or EvaluationSettings()
+        self.configs = tuple(configs)
+        self.jobs = int(jobs)
+
+    # -- phases ---------------------------------------------------------------
+
+    def enumerate_points(self, benchmarks: Sequence[str]) -> List[SweepPoint]:
+        """Generate every evaluation point of the sweep, in deterministic order.
+
+        Architecture generation itself (layout + bus selection + Algorithm 3)
+        is fanned out across workers, one task per benchmark x configuration.
+        """
+        tasks = [
+            (benchmark, config.value, self.settings)
+            for benchmark in benchmarks
+            for config in self.configs
+        ]
+        raw = self._map(_generate_task, tasks)
+        return [
+            SweepPoint(benchmark, ExperimentConfig(config_value), index, architecture)
+            for generated in raw
+            for benchmark, config_value, index, architecture in generated
+        ]
+
+    def evaluate(self, points: Sequence[SweepPoint]) -> List[DataPoint]:
+        """Score every point (routing + yield), fanned out across workers."""
+        tasks = [
+            (point.benchmark, point.config.value, point.arch_index,
+             point.architecture, self.settings)
+            for point in points
+        ]
+        return self._map(_evaluate_task, tasks)
+
+    def run(self, benchmarks: Sequence[str]) -> Dict[str, ExperimentResult]:
+        """The full sweep: enumerate, evaluate, and assemble per-benchmark results.
+
+        Returns one :class:`ExperimentResult` per benchmark, keyed by the
+        benchmark's canonical name (aliases and repeated names collapse
+        onto one entry).
+        """
+        names = list(dict.fromkeys(get_benchmark(name).name for name in benchmarks))
+        points = self.enumerate_points(names)
+        data = self.evaluate(points)
+        results = {name: ExperimentResult(benchmark=name) for name in names}
+        for point in data:
+            results[point.benchmark].points.append(point)
+        for result in results.values():
+            result.normalize()
+        return results
+
+    # -- execution ------------------------------------------------------------
+
+    def _map(self, func, tasks):
+        if self.jobs == 1 or len(tasks) <= 1:
+            return [func(task) for task in tasks]
+        processes = min(self.jobs, len(tasks))
+        with multiprocessing.Pool(processes=processes) as pool:
+            return pool.map(func, tasks, chunksize=1)
+
+
+def run_sweep(
+    benchmarks: Sequence[str],
+    jobs: int = 1,
+    settings: Optional[EvaluationSettings] = None,
+    configs: Iterable[ExperimentConfig] = DEFAULT_CONFIGS,
+) -> Dict[str, ExperimentResult]:
+    """One-call convenience wrapper around :class:`SweepExecutor`."""
+    return SweepExecutor(settings=settings, configs=configs, jobs=jobs).run(benchmarks)

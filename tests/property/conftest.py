@@ -1,0 +1,19 @@
+"""Hypothesis configuration for the property suite.
+
+The suite-wide profile removes deadlines (Monte Carlo tests have noisy
+first-call timings due to numpy warm-up) and keeps Hypothesis's database
+out of CI runs.  Per-test example budgets go through
+:func:`strategies.examples`, which honours the ``HYPOTHESIS_MAX_EXAMPLES``
+environment variable so CI can cap the whole suite at once.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro-property",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro-property")

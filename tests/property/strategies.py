@@ -1,0 +1,114 @@
+"""Shared Hypothesis strategies for the property suite.
+
+Every strategy here draws values from the paper's own parameter space:
+frequencies inside the allowed 5.00-5.34 GHz band (Section 4.3), sigma
+values around the studied fabrication precisions (Section 5.1), and
+small lattice/chain topologies of the kind Algorithm 3's local regions
+produce.
+
+``max_examples`` budgets are centralized through :func:`examples` so CI
+can cap the whole suite with one environment variable
+(``HYPOTHESIS_MAX_EXAMPLES``).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.hardware.frequency import (
+    ALLOWED_FREQUENCY_MAX_GHZ,
+    ALLOWED_FREQUENCY_MIN_GHZ,
+    candidate_frequencies,
+)
+
+#: Global ceiling on per-test Hypothesis examples; CI sets a small value
+#: so the property suite stays inside its time budget.
+MAX_EXAMPLES_CAP = int(os.environ.get("HYPOTHESIS_MAX_EXAMPLES", "50"))
+
+
+def examples(requested: int) -> int:
+    """The example budget for one test: the requested count, CI-capped."""
+    return max(1, min(requested, MAX_EXAMPLES_CAP))
+
+
+# -- scalar strategies --------------------------------------------------------
+
+#: Arbitrary in-band frequencies (continuous).
+frequencies_ghz = st.floats(
+    min_value=ALLOWED_FREQUENCY_MIN_GHZ,
+    max_value=ALLOWED_FREQUENCY_MAX_GHZ,
+    allow_nan=False,
+    allow_infinity=False,
+)
+
+#: Frequencies restricted to Algorithm 3's 0.01 GHz candidate grid.
+grid_frequencies_ghz = st.sampled_from([float(f) for f in candidate_frequencies()])
+
+#: Fabrication noise magnitudes covering the paper's studied range
+#: (10-150 MHz) plus the noiseless edge.
+sigmas_ghz = st.one_of(
+    st.just(0.0),
+    st.floats(min_value=0.001, max_value=0.15, allow_nan=False, allow_infinity=False),
+)
+
+#: Seeds for deterministic generators.
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+#: Trial counts kept small so property runs stay fast.
+trial_counts = st.sampled_from([50, 128, 300])
+
+#: Small lattice dimensions (rows, cols).
+lattice_dims = st.tuples(st.integers(1, 4), st.integers(1, 4))
+
+
+# -- composite strategies -----------------------------------------------------
+
+
+@st.composite
+def frequency_vectors(draw, min_qubits: int = 1, max_qubits: int = 8, grid: bool = False):
+    """A designed frequency vector of ``min_qubits``..``max_qubits`` entries."""
+    source = grid_frequencies_ghz if grid else frequencies_ghz
+    values = draw(
+        st.lists(source, min_size=min_qubits, max_size=max_qubits)
+    )
+    return np.array(values, dtype=float)
+
+
+def chain_topology(num_qubits: int) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int, int]]]:
+    """Pairs and common-neighbour triples of a 1 x N chain coupling graph."""
+    pairs = [(q, q + 1) for q in range(num_qubits - 1)]
+    triples = [(q, q - 1, q + 1) for q in range(1, num_qubits - 1)]
+    return pairs, triples
+
+
+@st.composite
+def chain_regions(draw, min_qubits: int = 2, max_qubits: int = 6, grid: bool = False):
+    """A chain topology plus a designed frequency vector for it."""
+    num_qubits = draw(st.integers(min_qubits, max_qubits))
+    frequencies = draw(frequency_vectors(num_qubits, num_qubits, grid=grid))
+    pairs, triples = chain_topology(num_qubits)
+    return frequencies, pairs, triples
+
+
+@st.composite
+def star_regions(draw, min_spokes: int = 1, max_spokes: int = 5, grid: bool = False):
+    """An Algorithm 3 local region: a centre qubit coupled to every spoke."""
+    num_spokes = draw(st.integers(min_spokes, max_spokes))
+    frequencies = draw(frequency_vectors(num_spokes + 1, num_spokes + 1, grid=grid))
+    pairs = [(0, s) for s in range(1, num_spokes + 1)]
+    triples = [
+        (0, a, b)
+        for a in range(1, num_spokes + 1)
+        for b in range(a + 1, num_spokes + 1)
+    ]
+    return frequencies, pairs, triples
+
+
+@st.composite
+def permutations_of(draw, size: int):
+    """A permutation of ``range(size)`` as a numpy index array."""
+    return np.array(draw(st.permutations(range(size))), dtype=int)

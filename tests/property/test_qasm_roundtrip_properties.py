@@ -1,0 +1,91 @@
+"""Property test: OpenQASM 2.0 round-trip over the supported gate set.
+
+Any circuit built from the library's supported gates must survive
+``circuit_to_qasm`` -> ``circuit_from_qasm`` with an identical gate
+sequence (names, qubits, and exact parameter values — parameters are
+emitted with ``repr`` so float round-trips are lossless).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gates import Gate
+from repro.circuit.qasm import circuit_from_qasm, circuit_to_qasm
+from strategies import examples
+
+pytestmark = pytest.mark.property
+
+#: Parameter counts of the supported parameterised gates.
+PARAMETRIC_GATES = {
+    "rx": 1, "ry": 1, "rz": 1, "u1": 1, "u2": 2, "u3": 3,
+    "cp": 1, "crz": 1, "rzz": 1, "rxx": 1,
+}
+PLAIN_ONE_QUBIT_GATES = (
+    "id", "h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx",
+)
+PLAIN_TWO_QUBIT_GATES = ("cx", "cz", "swap")
+
+#: Finite angles; repr() round-trips every float exactly.
+angles = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, allow_infinity=False
+)
+
+
+@st.composite
+def supported_gates(draw, num_qubits: int):
+    """One gate from the full supported set, on valid qubit indices."""
+    qubit = st.integers(0, num_qubits - 1)
+    kind = draw(
+        st.sampled_from(
+            ["plain1", "plain2", "param1", "param2", "measure", "barrier"]
+        )
+    )
+    if kind == "plain1":
+        return Gate(draw(st.sampled_from(PLAIN_ONE_QUBIT_GATES)), (draw(qubit),))
+    if kind == "param1":
+        name = draw(st.sampled_from(["rx", "ry", "rz", "u1", "u2", "u3"]))
+        params = tuple(draw(angles) for _ in range(PARAMETRIC_GATES[name]))
+        return Gate(name, (draw(qubit),), params)
+    if kind == "measure":
+        return Gate("measure", (draw(qubit),))
+    if kind == "barrier":
+        span = draw(st.lists(qubit, min_size=1, max_size=num_qubits, unique=True))
+        return Gate("barrier", tuple(span))
+    # Two-qubit kinds need two distinct qubits.
+    a = draw(qubit)
+    b = draw(st.integers(0, num_qubits - 1).filter(lambda q: q != a))
+    if kind == "plain2":
+        return Gate(draw(st.sampled_from(PLAIN_TWO_QUBIT_GATES)), (a, b))
+    name = draw(st.sampled_from(["cp", "crz", "rzz", "rxx"]))
+    params = tuple(draw(angles) for _ in range(PARAMETRIC_GATES[name]))
+    return Gate(name, (a, b), params)
+
+
+@st.composite
+def supported_circuits(draw, max_qubits: int = 8, max_gates: int = 30):
+    num_qubits = draw(st.integers(2, max_qubits))
+    circuit = QuantumCircuit(num_qubits, name="roundtrip")
+    for gate in draw(st.lists(supported_gates(num_qubits), max_size=max_gates)):
+        circuit.append(gate)
+    return circuit
+
+
+class TestQasmRoundTrip:
+    @given(circuit=supported_circuits())
+    @settings(max_examples=examples(60))
+    def test_round_trip_preserves_gate_sequence(self, circuit):
+        text = circuit_to_qasm(circuit)
+        parsed = circuit_from_qasm(text, name=circuit.name)
+        assert parsed.num_qubits == circuit.num_qubits
+        assert list(parsed.gates) == list(circuit.gates)
+
+    @given(circuit=supported_circuits())
+    @settings(max_examples=examples(25))
+    def test_round_trip_is_idempotent(self, circuit):
+        once = circuit_to_qasm(circuit)
+        twice = circuit_to_qasm(circuit_from_qasm(once))
+        assert once == twice

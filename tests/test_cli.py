@@ -24,6 +24,25 @@ class TestParser:
         assert args.benchmarks == ["sym6_145", "qft_16"]
         assert args.plot
 
+    def test_sweep_defaults(self):
+        args = build_parser().parse_args(["sweep", "sym6_145"])
+        assert args.command == "sweep"
+        assert args.jobs == 1
+        assert args.trials == 10_000
+        assert args.configs is None
+
+    def test_sweep_accepts_jobs_and_configs(self):
+        args = build_parser().parse_args(
+            ["sweep", "sym6_145", "qft_16", "--jobs", "4", "--configs", "eff-full"]
+        )
+        assert args.benchmarks == ["sym6_145", "qft_16"]
+        assert args.jobs == 4
+        assert args.configs == ["eff-full"]
+
+    def test_sweep_rejects_unknown_config(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "sym6_145", "--configs", "nope"])
+
 
 class TestCommands:
     def test_list_outputs_all_benchmarks(self, capsys):
@@ -48,3 +67,16 @@ class TestCommands:
     def test_unknown_benchmark_raises(self):
         with pytest.raises(KeyError):
             main(["profile", "nope"])
+
+    def test_sweep_prints_table(self, capsys):
+        assert main(
+            ["sweep", "sym6_145", "--jobs", "2", "--trials", "300",
+             "--configs", "eff-layout-only"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert "sym6_145" in output
+        assert "eff-layout-only" in output
+
+    def test_sweep_unknown_benchmark_raises_before_forking(self):
+        with pytest.raises(KeyError):
+            main(["sweep", "nope", "--jobs", "2"])

@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) on core data structures and invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -13,6 +14,8 @@ from repro.hardware.frequency import five_frequency_label
 from repro.hardware.lattice import Square, manhattan_distance
 from repro.mapping import DistanceMatrix, initial_mapping, route_circuit
 from repro.profiling import coupling_degree_list, coupling_strength_matrix, profile_circuit
+
+pytestmark = pytest.mark.property
 
 # ---------------------------------------------------------------------------
 # Strategies

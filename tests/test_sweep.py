@@ -1,0 +1,106 @@
+"""Tests for the parallel design-space sweep executor."""
+
+import pytest
+
+from repro.evaluation import (
+    EvaluationSettings,
+    ExperimentConfig,
+    SweepExecutor,
+    evaluate_benchmark,
+    run_sweep,
+    sweep_point_seed,
+)
+
+FAST_SETTINGS = EvaluationSettings(
+    yield_trials=300,
+    frequency_local_trials=80,
+    random_bus_seeds=(1,),
+)
+FAST_CONFIGS = (ExperimentConfig.EFF_FULL, ExperimentConfig.EFF_LAYOUT_ONLY)
+
+
+def point_fingerprint(result):
+    return [
+        (p.config.value, p.architecture_name, p.yield_rate, p.total_gates,
+         p.num_swaps, p.normalized_reciprocal_gates)
+        for p in result.points
+    ]
+
+
+class TestSweepDeterminism:
+    def test_jobs_do_not_change_results(self):
+        serial = run_sweep(
+            ["sym6_145"], jobs=1, settings=FAST_SETTINGS, configs=FAST_CONFIGS
+        )
+        parallel = run_sweep(
+            ["sym6_145"], jobs=3, settings=FAST_SETTINGS, configs=FAST_CONFIGS
+        )
+        assert point_fingerprint(serial["sym6_145"]) == point_fingerprint(
+            parallel["sym6_145"]
+        )
+        assert len(serial["sym6_145"].points) > 0
+
+    def test_point_seeds_depend_only_on_point_identity(self):
+        seed = sweep_point_seed(7, "sym6_145", "eff-full", 2)
+        assert seed == sweep_point_seed(7, "sym6_145", "eff-full", 2)
+        assert seed != sweep_point_seed(7, "sym6_145", "eff-full", 3)
+        assert seed != sweep_point_seed(8, "sym6_145", "eff-full", 2)
+        assert seed != sweep_point_seed(7, "qft_16", "eff-full", 2)
+
+    def test_repeated_runs_are_reproducible(self):
+        executor = SweepExecutor(settings=FAST_SETTINGS, configs=FAST_CONFIGS, jobs=1)
+        first = executor.run(["sym6_145"])
+        second = executor.run(["sym6_145"])
+        assert point_fingerprint(first["sym6_145"]) == point_fingerprint(
+            second["sym6_145"]
+        )
+
+
+class TestSweepStructure:
+    def test_enumerate_points_covers_configs_in_order(self):
+        executor = SweepExecutor(settings=FAST_SETTINGS, configs=FAST_CONFIGS, jobs=1)
+        points = executor.enumerate_points(["sym6_145"])
+        assert points, "sweep enumerated no points"
+        config_order = [p.config for p in points]
+        # Points arrive grouped by configuration, in the requested order.
+        seen = []
+        for config in config_order:
+            if not seen or seen[-1] is not config:
+                seen.append(config)
+        assert seen == list(FAST_CONFIGS)
+        for point in points:
+            assert point.benchmark == "sym6_145"
+            assert point.architecture.num_qubits >= 7
+
+    def test_matches_evaluate_benchmark_structure(self):
+        """The sweep covers the same architectures as the serial harness."""
+        from repro.benchmarks import get_benchmark
+
+        sweep = run_sweep(
+            ["sym6_145"], jobs=1, settings=FAST_SETTINGS, configs=FAST_CONFIGS
+        )["sym6_145"]
+        serial = evaluate_benchmark(
+            get_benchmark("sym6_145"), configs=FAST_CONFIGS, settings=FAST_SETTINGS
+        )
+        assert [p.architecture_name for p in sweep.points] == [
+            p.architecture_name for p in serial.points
+        ]
+        assert [p.total_gates for p in sweep.points] == [
+            p.total_gates for p in serial.points
+        ]
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            SweepExecutor(jobs=0)
+
+    def test_aliased_and_repeated_names_collapse_to_one_result(self):
+        results = run_sweep(
+            ["SYM6_145", "sym6_145"], jobs=1, settings=FAST_SETTINGS, configs=FAST_CONFIGS
+        )
+        assert list(results) == ["sym6_145"]
+        reference = run_sweep(
+            ["sym6_145"], jobs=1, settings=FAST_SETTINGS, configs=FAST_CONFIGS
+        )
+        assert point_fingerprint(results["sym6_145"]) == point_fingerprint(
+            reference["sym6_145"]
+        )

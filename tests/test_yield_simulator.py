@@ -106,3 +106,86 @@ class TestEstimateFromArrays:
         mask = simulator.collision_mask(sampled, pairs=[(0, 1)], triples=[])
         assert mask.shape == (10,)
         assert mask.all()  # identical frequencies always collide (condition 1)
+
+
+class TestDegenerateInputs:
+    """Regression tests: empty pair/triple lists and single-qubit regions."""
+
+    def test_collision_mask_with_no_pairs_or_triples_is_all_success(self):
+        simulator = YieldSimulator(trials=8, seed=1)
+        sampled = np.full((8, 3), 5.1)
+        mask = simulator.collision_mask(sampled, pairs=[], triples=[])
+        assert mask.shape == (8,)
+        assert not mask.any()
+
+    def test_estimate_from_arrays_single_qubit_always_succeeds(self):
+        simulator = YieldSimulator(trials=500, sigma_ghz=0.1, seed=3)
+        estimate = simulator.estimate_from_arrays(np.array([5.17]), pairs=[], triples=[])
+        assert estimate.yield_rate == 1.0
+        assert estimate.successes == 500
+
+    def test_estimate_batch_single_qubit_always_succeeds(self):
+        simulator = YieldSimulator(trials=300, sigma_ghz=0.1, seed=3)
+        batch = np.array([[5.05], [5.17], [5.29]])
+        estimates = simulator.estimate_batch(batch, pairs=[], triples=[])
+        assert len(estimates) == 3
+        assert all(e.successes == 300 for e in estimates)
+
+    def test_single_qubit_architecture_estimate(self):
+        arch = chain_architecture(1, {0: 5.17})
+        estimate = YieldSimulator(trials=100, sigma_ghz=0.1, seed=5).estimate(arch)
+        assert estimate.yield_rate == 1.0
+
+
+class TestEstimateBatch:
+    def chain(self):
+        pairs = [(0, 1), (1, 2), (2, 3)]
+        triples = [(1, 0, 2), (2, 1, 3)]
+        return pairs, triples
+
+    def test_batch_of_one_matches_estimate_from_arrays(self):
+        pairs, triples = self.chain()
+        frequencies = np.array([5.04, 5.16, 5.28, 5.08])
+        simulator = YieldSimulator(trials=1500, seed=21)
+        single = simulator.estimate_from_arrays(frequencies, pairs, triples)
+        assert simulator.estimate_batch(frequencies[None, :], pairs, triples) == [single]
+
+    def test_batch_matches_sequential_loop(self):
+        pairs, triples = self.chain()
+        rng = np.random.default_rng(4)
+        batch = 5.17 + rng.normal(0.0, 0.05, size=(40, 4))
+        simulator = YieldSimulator(trials=800, seed=9)
+        sequential = [simulator.estimate_from_arrays(row, pairs, triples) for row in batch]
+        assert simulator.estimate_batch(batch, pairs, triples) == sequential
+
+    def test_chunking_preserves_results(self):
+        pairs, triples = self.chain()
+        rng = np.random.default_rng(4)
+        batch = 5.17 + rng.normal(0.0, 0.05, size=(17, 4))
+        simulator = YieldSimulator(trials=300, seed=9)
+        reference = simulator.estimate_batch(batch, pairs, triples)
+        assert simulator.estimate_batch(
+            batch, pairs, triples, max_chunk_elements=1
+        ) == reference
+
+    def test_one_dimensional_input_treated_as_batch_of_one(self):
+        pairs, triples = self.chain()
+        frequencies = np.array([5.04, 5.16, 5.28, 5.08])
+        simulator = YieldSimulator(trials=400, seed=2)
+        assert simulator.estimate_batch(frequencies, pairs, triples) == [
+            simulator.estimate_from_arrays(frequencies, pairs, triples)
+        ]
+
+    def test_exotic_thresholds_fall_back_to_generic_kernel(self):
+        from repro.collision import CollisionThresholds
+
+        # Thresholds wider than |delta| defeat the folded interval kernel;
+        # the generic fallback must still match the sequential loop.
+        wide = CollisionThresholds(condition_3_ghz=0.5)
+        simulator = YieldSimulator(trials=200, seed=6, thresholds=wide)
+        assert not simulator._foldable_thresholds()
+        pairs, triples = self.chain()
+        rng = np.random.default_rng(8)
+        batch = 5.17 + rng.normal(0.0, 0.05, size=(5, 4))
+        sequential = [simulator.estimate_from_arrays(row, pairs, triples) for row in batch]
+        assert simulator.estimate_batch(batch, pairs, triples) == sequential
