@@ -26,6 +26,8 @@ class QuantumCircuit:
             raise ValueError("a circuit needs at least one qubit")
         self._num_qubits = int(num_qubits)
         self._gates: List[Gate] = []
+        self._gates_tuple: Optional[Tuple[Gate, ...]] = None
+        self._content_hash: Optional[int] = None
         self.name = name
 
     # -- basic container protocol -------------------------------------------------
@@ -37,8 +39,21 @@ class QuantumCircuit:
 
     @property
     def gates(self) -> Tuple[Gate, ...]:
-        """The gate sequence as an immutable tuple."""
-        return tuple(self._gates)
+        """The gate sequence as an immutable tuple (cached until the next append)."""
+        if self._gates_tuple is None:
+            self._gates_tuple = tuple(self._gates)
+        return self._gates_tuple
+
+    def content_hash(self) -> int:
+        """A hash of the gate sequence, cached until the next append.
+
+        Routing caches key circuits by value; hashing thousands of gate
+        dataclasses per lookup would dwarf the lookup itself, so the digest
+        is computed once per mutation generation.
+        """
+        if self._content_hash is None:
+            self._content_hash = hash(self.gates)
+        return self._content_hash
 
     def __len__(self) -> int:
         return len(self._gates)
@@ -70,7 +85,20 @@ class QuantumCircuit:
                     f"gate {gate} uses qubit {qubit} outside register of size {self._num_qubits}"
                 )
         self._gates.append(gate)
+        self._gates_tuple = None
+        self._content_hash = None
         return self
+
+    def append_unchecked(self, gate: Gate) -> None:
+        """Append a gate without qubit-range validation.
+
+        For hot loops that construct gates on indices already known to be
+        in range (the router appends one gate per executed operation);
+        everything else should use :meth:`append`.
+        """
+        self._gates.append(gate)
+        self._gates_tuple = None
+        self._content_hash = None
 
     def extend(self, gates: Iterable[Gate]) -> "QuantumCircuit":
         """Append every gate from ``gates``."""

@@ -10,11 +10,12 @@ the paper).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.circuit.gates import Gate, GateKind
+from repro.circuit.gates import Gate, GateKind, TWO_QUBIT_GATES
 
 
 @dataclass
@@ -26,12 +27,22 @@ class DAGNode:
         gate: The gate itself.
         predecessors: Indices of nodes that must execute before this one.
         successors: Indices of nodes that depend on this one.
+        two_qubit: Cached ``gate.is_two_qubit`` (the router checks it on
+            every front-layer scan; the property re-derives the gate kind
+            from its name each call).
     """
 
     index: int
     gate: Gate
     predecessors: Set[int] = field(default_factory=set)
     successors: Set[int] = field(default_factory=set)
+    two_qubit: bool = field(init=False)
+
+    def __post_init__(self) -> None:
+        # Direct frozenset membership instead of the kind property: this
+        # runs once per gate per DAG build and is equivalent (measure and
+        # barrier are not in TWO_QUBIT_GATES).
+        self.two_qubit = self.gate.name in TWO_QUBIT_GATES
 
 
 class CircuitDAG:
@@ -47,11 +58,21 @@ class CircuitDAG:
         self._circuit = circuit
         self._nodes: Dict[int, DAGNode] = {}
         self._build()
+        # Flat, index-addressed traversal tables (node indices are original
+        # circuit positions, so a list indexed by position beats a dict of
+        # dataclasses in the router's hot BFS loops; gaps left by removed
+        # barrier nodes simply hold empty entries).
+        size = len(circuit.gates)
+        self._succ_sorted: List[List[int]] = [[] for _ in range(size)]
+        self._two_qubit_flags = bytearray(size)
+        for index, node in self._nodes.items():
+            self._succ_sorted[index] = sorted(node.successors)
+            self._two_qubit_flags[index] = node.two_qubit
 
     def _build(self) -> None:
         last_on_qubit: Dict[int, int] = {}
         for index, gate in enumerate(self._circuit.gates):
-            if gate.kind is GateKind.BARRIER:
+            if gate.name == "barrier":
                 # A barrier acts as an ordering point on the qubits it spans
                 # (or all qubits when it spans none explicitly).
                 qubits = gate.qubits or tuple(range(self._circuit.num_qubits))
@@ -133,10 +154,16 @@ class ExecutionFrontier:
 
     def __init__(self, dag: CircuitDAG) -> None:
         self._dag = dag
-        self._remaining_preds: Dict[int, int] = {
-            i: len(node.predecessors) for i, node in ((n.index, n) for n in dag.nodes())
-        }
-        self._front: Set[int] = {i for i, count in self._remaining_preds.items() if count == 0}
+        # Flat, index-addressed predecessor counts (same layout as the DAG's
+        # traversal tables; gaps from removed barriers stay at zero and are
+        # never referenced because no live node lists them as a successor).
+        self._remaining_preds: List[int] = [0] * len(dag._succ_sorted)
+        self._front: Set[int] = set()
+        for index, node in dag._nodes.items():
+            count = len(node.predecessors)
+            self._remaining_preds[index] = count
+            if count == 0:
+                self._front.add(index)
         self._executed: Set[int] = set()
 
     @property
@@ -147,6 +174,11 @@ class ExecutionFrontier:
     @property
     def num_executed(self) -> int:
         return len(self._executed)
+
+    @property
+    def remaining(self) -> int:
+        """Number of gates not yet executed."""
+        return self._dag.num_nodes - len(self._executed)
 
     def front_nodes(self) -> List[DAGNode]:
         """Currently executable gates, in original circuit order."""
@@ -159,11 +191,13 @@ class ExecutionFrontier:
         self._front.discard(index)
         self._executed.add(index)
         unblocked: List[DAGNode] = []
-        for succ in sorted(self._dag.node(index).successors):
-            self._remaining_preds[succ] -= 1
-            if self._remaining_preds[succ] == 0:
+        remaining = self._remaining_preds
+        nodes = self._dag._nodes
+        for succ in self._dag._succ_sorted[index]:
+            remaining[succ] -= 1
+            if not remaining[succ]:
                 self._front.add(succ)
-                unblocked.append(self._dag.node(succ))
+                unblocked.append(nodes[succ])
         return unblocked
 
     def lookahead_nodes(self, depth: int) -> List[DAGNode]:
@@ -174,17 +208,33 @@ class ExecutionFrontier:
         immediately blocked ones.
         """
         result: List[DAGNode] = []
-        seen: Set[int] = set(self._front) | self._executed
-        queue: List[int] = []
+        if depth <= 0:
+            return result
+        # Every node reachable from a front node's successors is a strict
+        # descendant of the front, so it can be neither executed nor in the
+        # front itself — visited-tracking alone suffices.  Nodes are
+        # deduplicated at enqueue time (first enqueue claims the BFS slot,
+        # same order as dedup-at-pop) so each node enters the queue once.
+        # The walk runs on the DAG's flat index tables (byte flags and
+        # presorted successor lists) — this is the router's hottest loop.
+        successors = self._dag._succ_sorted
+        two_qubit = self._dag._two_qubit_flags
+        visited = bytearray(len(successors))
+        queue: deque = deque()
         for index in sorted(self._front):
-            queue.extend(sorted(self._dag.node(index).successors))
-        while queue and len(result) < depth:
-            index = queue.pop(0)
-            if index in seen:
-                continue
-            seen.add(index)
-            node = self._dag.node(index)
-            if node.gate.is_two_qubit:
-                result.append(node)
-            queue.extend(sorted(node.successors))
+            for successor in successors[index]:
+                if not visited[successor]:
+                    visited[successor] = 1
+                    queue.append(successor)
+        dag_node = self._dag.node
+        while queue:
+            index = queue.popleft()
+            if two_qubit[index]:
+                result.append(dag_node(index))
+                if len(result) >= depth:
+                    break
+            for successor in successors[index]:
+                if not visited[successor]:
+                    visited[successor] = 1
+                    queue.append(successor)
         return result

@@ -119,14 +119,29 @@ class Gate:
     def remap(self, mapping) -> "Gate":
         """Return a copy of the gate with qubits translated through ``mapping``.
 
+        Only operand distinctness is re-validated (the one invariant a
+        non-injective mapping can break); name, parameter, and arity checks
+        from ``__post_init__`` are skipped because translation cannot
+        violate them and the router remaps one gate per executed operation,
+        making redundant re-validation a measurable cost.
+
         Args:
             mapping: A dict-like or callable from old index to new index.
+
+        Raises:
+            ValueError: When the mapping sends two operands to the same qubit.
         """
         if callable(mapping):
             new_qubits = tuple(mapping(q) for q in self.qubits)
         else:
             new_qubits = tuple(mapping[q] for q in self.qubits)
-        return Gate(self.name, new_qubits, self.params)
+        if len(new_qubits) > 1 and len(set(new_qubits)) != len(new_qubits):
+            raise ValueError(f"gate {self.name!r} has duplicate qubits {new_qubits}")
+        new = object.__new__(Gate)
+        object.__setattr__(new, "name", self.name)
+        object.__setattr__(new, "qubits", new_qubits)
+        object.__setattr__(new, "params", self.params)
+        return new
 
     def __str__(self) -> str:
         params = ""

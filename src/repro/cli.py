@@ -31,6 +31,7 @@ from repro.evaluation.experiment import (
 )
 from repro.evaluation.figures import format_figure10_table
 from repro.evaluation.parallel import run_sweep
+from repro.mapping import SabreParameters
 from repro.profiling.profiler import profile_circuit
 from repro.visualization.ascii_art import render_architecture, render_coupling_matrix
 from repro.visualization.pareto_plot import render_pareto_scatter
@@ -67,6 +68,7 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate_parser.add_argument(
         "--plot", action="store_true", help="also print an ASCII Pareto scatter plot"
     )
+    _add_router_arguments(evaluate_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -86,7 +88,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--plot", action="store_true", help="also print an ASCII Pareto scatter plot"
     )
+    _add_router_arguments(sweep_parser)
     return parser
+
+
+def _add_router_arguments(parser: argparse.ArgumentParser) -> None:
+    """Routing-engine knobs shared by ``evaluate`` and ``sweep``."""
+    group = parser.add_argument_group("routing engine")
+    group.add_argument(
+        "--router-passes", type=int, default=1, metavar="N",
+        help="bidirectional SABRE passes per routing (odd; 1 = forward only, "
+             "3 = forward-backward-forward refinement)",
+    )
+    group.add_argument(
+        "--router-restarts", type=int, default=1, metavar="K",
+        help="best-of-K seeded restarts per routing (deterministic)",
+    )
+
+
+def _router_parameters(args: argparse.Namespace) -> SabreParameters:
+    try:
+        return SabreParameters(passes=args.router_passes, restarts=args.router_restarts)
+    except ValueError as error:
+        print(f"repro-design: error: {error}", file=sys.stderr)
+        raise SystemExit(2) from None
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -99,9 +124,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "design":
         return _cmd_design(args.benchmark, args.buses, args.trials)
     if args.command == "evaluate":
-        return _cmd_evaluate(args.benchmarks, args.trials, args.plot)
+        return _cmd_evaluate(args.benchmarks, args.trials, args.plot, _router_parameters(args))
     if args.command == "sweep":
-        return _cmd_sweep(args.benchmarks, args.jobs, args.trials, args.configs, args.plot)
+        return _cmd_sweep(args.benchmarks, args.jobs, args.trials, args.configs, args.plot,
+                          _router_parameters(args))
     return 2
 
 
@@ -156,6 +182,7 @@ def _cmd_sweep(
     trials: int,
     config_values: Optional[List[str]],
     plot: bool,
+    routing: SabreParameters,
 ) -> int:
     # Canonicalize up front: fails fast on unknown names (before forking
     # workers) and collapses aliases/duplicates onto the sweep's keys.
@@ -165,18 +192,24 @@ def _cmd_sweep(
         if config_values
         else DEFAULT_CONFIGS
     )
-    settings = EvaluationSettings(yield_trials=trials)
+    settings = EvaluationSettings(yield_trials=trials, routing=routing)
     results = run_sweep(names, jobs=jobs, settings=settings, configs=configs)
     for name in names:
         _print_result(results[name], plot)
     return 0
 
 
-def _cmd_evaluate(benchmarks: List[str], trials: int, plot: bool) -> int:
-    settings = EvaluationSettings(yield_trials=trials)
+def _cmd_evaluate(benchmarks: List[str], trials: int, plot: bool,
+                  routing: SabreParameters) -> int:
+    from repro.mapping import RoutingEngine
+
+    settings = EvaluationSettings(yield_trials=trials, routing=routing)
+    # One engine across benchmarks: the IBM baselines repeat, so their
+    # routers/distance matrices are built once per invocation.
+    engine = RoutingEngine(routing)
     for name in benchmarks:
         circuit = get_benchmark(name)
-        _print_result(evaluate_benchmark(circuit, settings=settings), plot)
+        _print_result(evaluate_benchmark(circuit, settings=settings, engine=engine), plot)
     return 0
 
 

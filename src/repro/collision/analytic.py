@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.collision.conditions import (
     ANHARMONICITY_GHZ,
@@ -139,9 +139,20 @@ class AnalyticYieldEstimate:
     pair_failure_probabilities: Dict[Tuple[int, int], float]
     triple_failure_probabilities: Dict[Tuple[int, int, int], float]
 
-    def worst_pair(self) -> Tuple[Tuple[int, int], float]:
-        """The connected pair contributing the largest collision probability."""
-        pair = max(self.pair_failure_probabilities, key=self.pair_failure_probabilities.get)
+    def worst_pair(self) -> Optional[Tuple[Tuple[int, int], float]]:
+        """The connected pair contributing the largest collision probability.
+
+        Returns ``None`` for degenerate architectures with no collision
+        pairs at all (e.g. a single isolated qubit), where "worst pair" is
+        undefined.  Ties resolve to the smallest pair tuple so the result
+        is deterministic across runs.
+        """
+        if not self.pair_failure_probabilities:
+            return None
+        pair = min(
+            self.pair_failure_probabilities,
+            key=lambda p: (-self.pair_failure_probabilities[p], p),
+        )
         return pair, self.pair_failure_probabilities[pair]
 
 

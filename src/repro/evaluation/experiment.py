@@ -22,7 +22,9 @@ from repro.collision.yield_simulator import YieldSimulator
 from repro.evaluation.configs import ExperimentConfig, architectures_for_config
 from repro.hardware.architecture import Architecture
 from repro.hardware.frequency import DEFAULT_SIGMA_GHZ
+from repro.mapping.engine import RoutingEngine
 from repro.mapping.router import route_circuit
+from repro.mapping.sabre import SabreParameters
 from repro.profiling.profiler import CircuitProfile, profile_circuit
 
 #: Configurations evaluated by default (all five, as in Figure 10).
@@ -48,6 +50,8 @@ class EvaluationSettings:
         random_bus_seeds: Seeds for the ``eff-rd-bus`` sample cloud.
         keep_routed_circuits: Whether mapping results retain full circuits
             (disabled by default to keep sweeps light).
+        routing: Router tuning parameters shared by every evaluation point
+            (bidirectional passes, seeded restarts, look-ahead window).
     """
 
     yield_trials: int = 10_000
@@ -56,6 +60,7 @@ class EvaluationSettings:
     frequency_local_trials: int = 2000
     random_bus_seeds: Sequence[int] = (1, 2, 3, 4, 5)
     keep_routed_circuits: bool = False
+    routing: SabreParameters = SabreParameters()
 
 
 @dataclass
@@ -113,18 +118,27 @@ def evaluate_benchmark(
     circuit: QuantumCircuit,
     configs: Iterable[ExperimentConfig] = DEFAULT_CONFIGS,
     settings: Optional[EvaluationSettings] = None,
+    engine: Optional[RoutingEngine] = None,
 ) -> ExperimentResult:
     """Evaluate one benchmark across the requested configurations.
 
     Architectures that cannot host the benchmark (fewer physical than
     logical qubits) are skipped, mirroring the paper where every baseline
     has at least as many qubits as the largest benchmark.
+
+    Args:
+        engine: Optional shared :class:`RoutingEngine`; multi-benchmark
+            callers pass one so baseline architectures shared across
+            benchmarks keep their routers and distance matrices.  Must be
+            configured with ``settings.routing``.
     """
     settings = settings or EvaluationSettings()
     profile = profile_circuit(circuit)
     simulator = YieldSimulator(
         trials=settings.yield_trials, sigma_ghz=settings.sigma_ghz, seed=settings.yield_seed
     )
+    if engine is None:
+        engine = RoutingEngine(settings.routing)
     result = ExperimentResult(benchmark=circuit.name)
     for config in configs:
         for architecture in architectures_for_config(
@@ -136,7 +150,8 @@ def evaluate_benchmark(
             if architecture.num_qubits < circuit.num_qubits:
                 continue
             result.points.append(
-                evaluate_point(circuit, profile, architecture, config, simulator, settings)
+                evaluate_point(circuit, profile, architecture, config, simulator, settings,
+                               engine=engine)
             )
     result.normalize()
     return result
@@ -147,9 +162,15 @@ def evaluate_suite(
     configs: Iterable[ExperimentConfig] = DEFAULT_CONFIGS,
     settings: Optional[EvaluationSettings] = None,
 ) -> Dict[str, ExperimentResult]:
-    """Evaluate several benchmarks (the full Figure 10 grid by default)."""
+    """Evaluate several benchmarks (the full Figure 10 grid by default).
+
+    One routing engine serves the whole suite, so baseline architectures
+    shared across benchmarks keep their routers and distance matrices.
+    """
+    settings = settings or EvaluationSettings()
+    engine = RoutingEngine(settings.routing)
     return {
-        name: evaluate_benchmark(circuit, configs, settings)
+        name: evaluate_benchmark(circuit, configs, settings, engine=engine)
         for name, circuit in circuits.items()
     }
 
@@ -161,13 +182,24 @@ def evaluate_point(
     config: ExperimentConfig,
     simulator: YieldSimulator,
     settings: EvaluationSettings,
+    engine: Optional[RoutingEngine] = None,
 ) -> DataPoint:
-    """Score one (benchmark, architecture) evaluation point of Figure 10."""
+    """Score one (benchmark, architecture) evaluation point of Figure 10.
+
+    Args:
+        engine: Optional shared :class:`RoutingEngine`; reuses distance
+            matrices and memoized routings across points (results are
+            identical with or without one).
+    """
+    # settings.routing is passed even alongside an engine so route_circuit's
+    # consistency guard rejects an engine configured with different knobs.
     mapping = route_circuit(
         circuit,
         architecture,
         profile=profile,
+        parameters=settings.routing,
         keep_routed_circuit=settings.keep_routed_circuits,
+        engine=engine,
     )
     yield_estimate = simulator.estimate(architecture)
     return DataPoint(

@@ -37,6 +37,8 @@ from repro.evaluation.experiment import (
     evaluate_point,
 )
 from repro.hardware.architecture import Architecture
+from repro.mapping.engine import RoutingEngine
+from repro.mapping.sabre import SabreParameters
 from repro.profiling.profiler import profile_circuit
 from repro.utils.rng import seed_for
 
@@ -76,6 +78,20 @@ def sweep_point_seed(base_seed: int, benchmark: str, config_value: str, arch_ind
 # circuits/profiles locally to keep the pickled payload small.
 # ---------------------------------------------------------------------------
 
+#: Process-local routing engines, one per parameter set.  Routing is a pure
+#: deterministic function of (circuit, architecture, parameters), so reusing
+#: distance matrices and memoized results inside a worker can never change a
+#: sweep value — ``--jobs N`` stays byte-identical for any N regardless of
+#: which points land in which process.
+_WORKER_ENGINES: Dict[SabreParameters, RoutingEngine] = {}
+
+
+def _worker_engine(parameters: SabreParameters) -> RoutingEngine:
+    engine = _WORKER_ENGINES.get(parameters)
+    if engine is None:
+        engine = _WORKER_ENGINES.setdefault(parameters, RoutingEngine(parameters))
+    return engine
+
 
 def _generate_task(
     task: Tuple[str, str, EvaluationSettings],
@@ -108,7 +124,8 @@ def _evaluate_task(
         seed=sweep_point_seed(settings.yield_seed, benchmark, config_value, arch_index),
     )
     return evaluate_point(
-        circuit, profile, architecture, ExperimentConfig(config_value), simulator, settings
+        circuit, profile, architecture, ExperimentConfig(config_value), simulator, settings,
+        engine=_worker_engine(settings.routing),
     )
 
 

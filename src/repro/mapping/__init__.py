@@ -10,14 +10,18 @@ scratch:
   chip coupling graph;
 * :mod:`repro.mapping.initial` — profile-aware initial logical-to-physical
   placement;
-* :mod:`repro.mapping.sabre` — the look-ahead SWAP search;
+* :mod:`repro.mapping.sabre` — the look-ahead SWAP search with incremental
+  candidate scoring, bidirectional passes, and seeded restarts;
+* :mod:`repro.mapping.engine` — the routing engine: per-architecture
+  router reuse plus deterministic memoization of routing results;
 * :mod:`repro.mapping.router` — the public entry point returning the gate
   counts used throughout the evaluation.
 """
 
 from repro.mapping.distance import DistanceMatrix
+from repro.mapping.engine import RoutingCache, RoutingEngine
 from repro.mapping.initial import initial_mapping
-from repro.mapping.router import MappingResult, route_circuit
+from repro.mapping.router import MappingResult, route_circuit, verify_routing
 from repro.mapping.sabre import SabreRouter, SabreParameters
 
 __all__ = [
@@ -25,6 +29,9 @@ __all__ = [
     "initial_mapping",
     "MappingResult",
     "route_circuit",
+    "verify_routing",
+    "RoutingCache",
+    "RoutingEngine",
     "SabreRouter",
     "SabreParameters",
 ]

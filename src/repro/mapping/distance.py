@@ -40,11 +40,26 @@ class DistanceMatrix:
                             matrix[src, self._index_of[current]] + 1
                         )
                         queue.append(neighbor)
+        matrix.setflags(write=False)
         self._matrix = matrix
 
     @property
     def qubits(self) -> List[int]:
         return list(self._qubits)
+
+    @property
+    def array(self) -> np.ndarray:
+        """The distance matrix itself (read-only; rows/cols ordered by ``qubits``).
+
+        The SWAP router scores thousands of candidate swaps per routed
+        circuit, so it indexes this array directly instead of going through
+        :meth:`distance`.
+        """
+        return self._matrix
+
+    def index_of(self, physical: int) -> int:
+        """Row/column index of a physical qubit in :attr:`array`."""
+        return self._index_of[physical]
 
     def distance(self, physical_a: int, physical_b: int) -> float:
         """Shortest-path distance between two physical qubits (inf when disconnected)."""

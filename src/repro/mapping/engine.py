@@ -1,0 +1,310 @@
+"""The routing engine: per-architecture router reuse plus result memoization.
+
+Every evaluation point of the paper's Figure 10 grid routes a benchmark
+onto a candidate architecture, and sweeps revisit the same architectures
+(and often the same (circuit, architecture) pairs) many times.  Two layers
+of reuse make that cheap:
+
+* **Router reuse** — a :class:`RoutingEngine` keeps one
+  :class:`~repro.mapping.sabre.SabreRouter` (and therefore one BFS
+  distance matrix and one candidate-edge table) per distinct architecture,
+  instead of rebuilding them on every :func:`route_circuit` call.
+* **Result memoization** — a :class:`RoutingCache` memoizes completed
+  :class:`~repro.mapping.router.MappingResult` objects under a
+  ``(circuit, architecture, parameters)`` key.
+
+Both layers are *transparent*: routing is a pure deterministic function of
+the key, so cache hits return exactly what a fresh computation would, and
+parallel sweeps stay byte-identical for any worker count no matter how
+hits and misses distribute across processes.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.circuit.circuit import QuantumCircuit
+from repro.hardware.architecture import Architecture
+from repro.mapping.distance import DistanceMatrix
+from repro.mapping.initial import initial_mapping
+from repro.mapping.sabre import SabreParameters, SabreRouter
+from repro.profiling.profiler import CircuitProfile, profile_circuit
+
+#: Default bound on memoized routing results per engine.  Entries retain
+#: the full routed circuit only when a caller asked for it
+#: (``keep_routed_circuit=True``); sweep-style counts-only routings cache
+#: compact results.
+DEFAULT_CACHE_ENTRIES = 256
+
+
+def circuit_cache_key(circuit: QuantumCircuit) -> Tuple:
+    """Value identity of a circuit: register size, name, length, content digest.
+
+    The name participates because it is recorded in the
+    :class:`~repro.mapping.router.MappingResult` (and in the routed
+    circuit's own name), so two same-gate circuits with different names
+    must not share a memoized result.  The gate sequence itself enters via
+    :meth:`~repro.circuit.circuit.QuantumCircuit.content_hash` — a cached
+    digest — rather than the full gate tuple, so building and comparing
+    keys stays O(1) per route call instead of re-hashing thousands of gate
+    objects every lookup.  Hash collisions are harmless: cache entries
+    carry the exact gate tuple and the engine confirms it on every hit.
+    """
+    return (circuit.num_qubits, circuit.name, len(circuit), circuit.content_hash())
+
+
+@dataclass
+class _CacheEntry:
+    """A memoized routing: the exact gate tuple plus the result.
+
+    ``gates`` guards against 64-bit content-hash collisions in the cache
+    key: a hit is only served after confirming the stored tuple matches
+    the requesting circuit's (identity check first — free for the common
+    same-circuit-object case — full comparison otherwise).
+    """
+
+    gates: Tuple
+    result: object
+
+
+def architecture_cache_key(architecture: Architecture) -> Tuple:
+    """Value identity of an architecture as far as routing is concerned.
+
+    Routing depends on the physical qubit set, the coupling graph, the
+    recorded pseudo-mapping (it seeds the initial placement), and the name
+    (recorded in results).  Frequencies are irrelevant to routing and are
+    deliberately excluded so that architectures differing only in their
+    frequency plan share routers and cached results.
+    """
+    return (
+        architecture.name,
+        tuple(architecture.qubits),
+        tuple(architecture.coupling_edges()),
+        tuple(sorted(architecture.logical_to_physical.items())),
+    )
+
+
+class RoutingCache:
+    """A bounded, deterministic LRU memo of completed routing results.
+
+    Keys are ``(circuit key, architecture key, SabreParameters)`` tuples;
+    values are the engine's cache entries (exact gate tuple + a
+    :class:`~repro.mapping.router.MappingResult` whose ``routed_circuit``
+    is present only if the producing call requested it).  Eviction is
+    least-recently-used with a fixed bound, so long sweeps cannot grow
+    memory without limit.
+    """
+
+    def __init__(self, max_entries: Optional[int] = DEFAULT_CACHE_ENTRIES) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[Tuple, object]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookup(self, key: Tuple, sufficient=None):
+        """The memoized result for ``key``, or None (counts hit/miss stats).
+
+        An entry rejected by the ``sufficient`` predicate counts as a
+        *miss* — the caller will recompute in full, so reporting a hit
+        would overstate cache effectiveness.
+        """
+        entry = self._entries.get(key)
+        if entry is None or (sufficient is not None and not sufficient(entry)):
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Tuple, result) -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        if self.max_entries is not None:
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+
+class RoutingEngine:
+    """Routes circuits onto architectures with per-architecture state reuse.
+
+    One engine holds one :class:`SabreParameters` configuration.  Use
+    :meth:`route` exactly like :func:`~repro.mapping.router.route_circuit`;
+    repeated calls against the same architecture share the router (distance
+    matrix, candidate-edge tables), and repeated calls with the same
+    circuit *and* architecture return memoized results.
+
+    Args:
+        parameters: Router tuning parameters shared by every route call.
+        cache: Optional externally owned :class:`RoutingCache` (a fresh
+            bounded cache is created when omitted).
+    """
+
+    def __init__(
+        self,
+        parameters: Optional[SabreParameters] = None,
+        cache: Optional[RoutingCache] = None,
+    ) -> None:
+        self.parameters = parameters or SabreParameters()
+        self.cache = cache if cache is not None else RoutingCache()
+        # Routers keyed by architecture identity, LRU-bounded like the
+        # sibling tables so a worker sweeping many candidate architectures
+        # cannot grow distance matrices and edge tables without limit.
+        self._routers: "OrderedDict[Tuple, SabreRouter]" = OrderedDict()
+        # Dependency DAGs keyed by circuit identity: one circuit routes onto
+        # many candidate architectures per evaluation, and the DAG (plus its
+        # use inside verify_routing) is the same for all of them.
+        self._dags: "OrderedDict[Tuple, object]" = OrderedDict()
+
+    def router_for(self, architecture: Architecture) -> SabreRouter:
+        """The shared router (and distance matrix) for an architecture (bounded LRU)."""
+        key = architecture_cache_key(architecture)
+        router = self._routers.get(key)
+        if router is None:
+            router = SabreRouter(architecture, self.parameters)
+            self._routers[key] = router
+        self._routers.move_to_end(key)
+        while len(self._routers) > 128:
+            self._routers.popitem(last=False)
+        return router
+
+    def distances_for(self, architecture: Architecture) -> DistanceMatrix:
+        """The shared distance matrix for an architecture."""
+        return self.router_for(architecture).distances
+
+    def _dag_for(self, circuit: QuantumCircuit, circuit_key: Tuple):
+        """The shared dependency DAG for a circuit (bounded LRU).
+
+        Like the result cache, a stored DAG is only served after its
+        circuit's gate tuple is confirmed against the requesting circuit's
+        (identity first, full comparison on mismatch) — a content-hash
+        collision in ``circuit_key`` rebuilds instead of verifying the
+        routing against the wrong circuit's DAG.
+        """
+        from repro.circuit.dag import CircuitDAG
+
+        gates = circuit.gates
+        dag = self._dags.get(circuit_key)
+        if dag is None or (dag.circuit.gates is not gates and dag.circuit.gates != gates):
+            dag = CircuitDAG(circuit)
+            self._dags[circuit_key] = dag
+        self._dags.move_to_end(circuit_key)
+        while len(self._dags) > 32:
+            self._dags.popitem(last=False)
+        return dag
+
+    def route(
+        self,
+        circuit: QuantumCircuit,
+        architecture: Architecture,
+        profile: Optional[CircuitProfile] = None,
+        keep_routed_circuit: bool = True,
+    ):
+        """Map ``circuit`` onto ``architecture`` (memoized; see ``route_circuit``).
+
+        Args:
+            circuit: Logical circuit in the CNOT + single-qubit basis.
+            architecture: Target hardware architecture.
+            profile: Optional precomputed profile **of this circuit** (saves
+                recomputation when the caller already profiled it).  A
+                profile whose identifying counts don't match the circuit is
+                rejected, and a supplied profile participates in the cache
+                key by content digest, so it can never poison the
+                profile-less entry.
+            keep_routed_circuit: Set to False to keep only the counts — the
+                returned result and the cache entry both drop the physical
+                circuit, so sweep-scale memoization stays light.  A later
+                call with True on a counts-only entry recomputes (and
+                upgrades the entry).
+        """
+        from repro.mapping.router import MappingResult, verify_routing
+
+        # O(1) identity checks only — this guard runs on every route call,
+        # including cache hits.
+        if profile is not None and (
+            profile.circuit_name != circuit.name
+            or profile.num_qubits != circuit.num_qubits
+            or profile.num_gates != len(circuit)
+        ):
+            raise ValueError(
+                f"profile {profile.circuit_name!r} does not describe circuit "
+                f"{circuit.name!r}; pass the circuit's own profile (or None)"
+            )
+        circuit_key = circuit_cache_key(circuit)
+        # The profile drives the initial placement, so a caller-supplied
+        # profile participates in the key by content digest over every field
+        # the placement reads (strengths, degree order, coupling edges): a
+        # profile that slips past the cheap guard above can only ever poison
+        # (or hit) its own entry, never the profile-less one.
+        profile_key = None
+        if profile is not None:
+            profile_key = hash((
+                profile.strength_matrix.tobytes(),
+                tuple(profile.degree_list),
+                tuple(sorted(tuple(sorted(edge)) for edge in profile.graph.edges())),
+            ))
+        key = (circuit_key, architecture_cache_key(architecture), self.parameters, profile_key)
+        gates = circuit.gates
+
+        def sufficient(entry) -> bool:
+            if entry.gates is not gates and entry.gates != gates:
+                return False  # content-hash collision; recompute under this key
+            return entry.result.routed_circuit is not None or not keep_routed_circuit
+
+        cached = self.cache.lookup(key, sufficient)
+        if cached is not None:
+            return _result_copy(cached.result, keep_routed_circuit)
+
+        router = self.router_for(architecture)
+        if not router.distances.is_connected():
+            raise ValueError(
+                f"architecture {architecture.name!r} has a disconnected coupling graph; "
+                "every benchmark in the paper is mapped onto connected chips"
+            )
+        profile = profile or profile_circuit(circuit)
+        mapping = initial_mapping(profile, architecture, router.distances)
+        dag = self._dag_for(circuit, circuit_key)
+        routed, num_swaps, final_mapping, used_initial = router.route_best(
+            circuit, mapping, dag=dag
+        )
+        verify_routing(circuit, routed, architecture, used_initial, dag=dag)
+        result = MappingResult(
+            circuit_name=circuit.name,
+            architecture_name=architecture.name,
+            original_gates=len(circuit),
+            original_two_qubit_gates=circuit.num_two_qubit_gates,
+            num_swaps=num_swaps,
+            initial_mapping=dict(used_initial),
+            final_mapping=dict(final_mapping),
+            routed_circuit=routed if keep_routed_circuit else None,
+        )
+        self.cache.put(key, _CacheEntry(gates=gates, result=result))
+        return _result_copy(result, keep_routed_circuit)
+
+
+def _result_copy(result, keep_routed_circuit: bool):
+    """A caller-owned copy of a cached result (mappings and circuit detached)."""
+    from repro.mapping.router import MappingResult
+
+    return MappingResult(
+        circuit_name=result.circuit_name,
+        architecture_name=result.architecture_name,
+        original_gates=result.original_gates,
+        original_two_qubit_gates=result.original_two_qubit_gates,
+        num_swaps=result.num_swaps,
+        initial_mapping=dict(result.initial_mapping),
+        final_mapping=dict(result.final_mapping),
+        routed_circuit=result.routed_circuit.copy() if keep_routed_circuit else None,
+    )

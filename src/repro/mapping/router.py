@@ -9,14 +9,16 @@ each inserted SWAP costs three CNOTs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.hardware.architecture import Architecture
-from repro.mapping.distance import DistanceMatrix
-from repro.mapping.initial import initial_mapping
-from repro.mapping.sabre import SabreParameters, SabreRouter
-from repro.profiling.profiler import CircuitProfile, profile_circuit
+from repro.mapping.sabre import SabreParameters
+from repro.profiling.profiler import CircuitProfile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.circuit.dag import CircuitDAG
+    from repro.mapping.engine import RoutingEngine
 
 #: Number of CNOT gates required to implement one SWAP on hardware.
 CNOTS_PER_SWAP = 3
@@ -45,6 +47,11 @@ class MappingResult:
     initial_mapping: Dict[int, int]
     final_mapping: Dict[int, int]
     routed_circuit: Optional[QuantumCircuit] = None
+
+    # With bidirectional passes or restarts enabled, ``initial_mapping`` is
+    # the initial mapping of the *winning* forward pass (the mapping from
+    # which replaying ``routed_circuit`` reproduces the logical circuit),
+    # which may differ from the profile-driven placement the search began at.
 
     @property
     def total_gates(self) -> int:
@@ -87,6 +94,7 @@ def route_circuit(
     profile: Optional[CircuitProfile] = None,
     parameters: Optional[SabreParameters] = None,
     keep_routed_circuit: bool = True,
+    engine: Optional["RoutingEngine"] = None,
 ) -> MappingResult:
     """Map ``circuit`` onto ``architecture`` and report the gate-count metric.
 
@@ -95,30 +103,25 @@ def route_circuit(
         architecture: Target hardware architecture.
         profile: Optional precomputed profile (saves recomputation when the
             caller already profiled the circuit).
-        parameters: Optional router tuning parameters.
+        parameters: Optional router tuning parameters (must be omitted when
+            ``engine`` is given; the engine's parameters apply).
         keep_routed_circuit: Set to False to drop the physical circuit and
             keep only the counts (saves memory in large sweeps).
+        engine: Optional :class:`~repro.mapping.engine.RoutingEngine` to
+            route through; shares per-architecture state and memoizes
+            results across calls.  Without one, a throwaway engine is used
+            (identical results, no reuse).
     """
-    profile = profile or profile_circuit(circuit)
-    distances = DistanceMatrix(architecture)
-    if not distances.is_connected():
+    from repro.mapping.engine import RoutingEngine
+
+    if engine is None:
+        engine = RoutingEngine(parameters)
+    elif parameters is not None and parameters != engine.parameters:
         raise ValueError(
-            f"architecture {architecture.name!r} has a disconnected coupling graph; "
-            "every benchmark in the paper is mapped onto connected chips"
+            "pass routing parameters either directly or via the engine, not both"
         )
-    mapping = initial_mapping(profile, architecture, distances)
-    router = SabreRouter(architecture, parameters)
-    routed, num_swaps, final_mapping = router.route(circuit, mapping)
-    verify_routing(circuit, routed, architecture, mapping)
-    return MappingResult(
-        circuit_name=circuit.name,
-        architecture_name=architecture.name,
-        original_gates=len(circuit),
-        original_two_qubit_gates=circuit.num_two_qubit_gates,
-        num_swaps=num_swaps,
-        initial_mapping=dict(mapping),
-        final_mapping=dict(final_mapping),
-        routed_circuit=routed if keep_routed_circuit else None,
+    return engine.route(
+        circuit, architecture, profile=profile, keep_routed_circuit=keep_routed_circuit
     )
 
 
@@ -127,6 +130,7 @@ def verify_routing(
     routed: QuantumCircuit,
     architecture: Architecture,
     initial_mapping: Dict[int, int],
+    dag: Optional["CircuitDAG"] = None,
 ) -> None:
     """Check that a routed circuit is a faithful execution of the logical circuit.
 
@@ -142,11 +146,17 @@ def verify_routing(
     than the source circuit, so the replay checks against the dependency
     DAG rather than the literal gate sequence.
 
+    The replay indexes the executable front by (gate name, logical
+    operands, params), so each routed gate is matched in O(1) instead of
+    rescanning the whole front layer — the full check is linear in the
+    routed gate count.  Pass a prebuilt ``dag`` of the logical circuit to
+    skip rebuilding it (the replay never mutates the DAG).
+
     Raises:
         AssertionError: When any check fails (this guards the evaluation
             pipeline against router bugs rather than user input errors).
     """
-    from repro.circuit.dag import CircuitDAG, ExecutionFrontier
+    from repro.circuit.dag import CircuitDAG, DAGNode, ExecutionFrontier
 
     coupled = set()
     for a, b in architecture.coupling_edges():
@@ -154,7 +164,22 @@ def verify_routing(
         coupled.add((b, a))
 
     physical_to_logical = {p: l for l, p in initial_mapping.items()}
-    frontier = ExecutionFrontier(CircuitDAG(logical))
+    frontier = ExecutionFrontier(dag if dag is not None else CircuitDAG(logical))
+    # Two front gates can never share (name, operands, params): identical
+    # operands imply a dependency chain, so each bucket holds at most one
+    # live node and popping the sole entry matches the gate deterministically.
+    front_index: Dict[Tuple, List[int]] = {}
+
+    def index_node(node: DAGNode) -> None:
+        key = (node.gate.name, node.gate.qubits, node.gate.params)
+        front_index.setdefault(key, []).append(node.index)
+
+    for node in frontier.front_nodes():
+        index_node(node)
+
+    get_logical = physical_to_logical.get
+    get_bucket = front_index.get
+    execute = frontier.execute
     for gate in routed.gates:
         if gate.is_two_qubit and tuple(gate.qubits) not in coupled:
             raise AssertionError(
@@ -163,8 +188,19 @@ def verify_routing(
             )
         if gate.name == "swap":
             phys_a, phys_b = gate.qubits
-            logical_a = physical_to_logical.get(phys_a)
-            logical_b = physical_to_logical.get(phys_b)
+            logical_a = get_logical(phys_a)
+            logical_b = get_logical(phys_b)
+            # A swap can be a gate of the *program* rather than a router
+            # insertion.  Try the logical interpretation first; this is
+            # unambiguous for router output, because an executable logical
+            # swap in the front would have been executed before the router
+            # ever inserted a swap of its own on that coupled pair.
+            if logical_a is not None and logical_b is not None:
+                bucket = get_bucket(("swap", (logical_a, logical_b), gate.params))
+                if bucket:
+                    for unblocked in execute(bucket.pop(0)):
+                        index_node(unblocked)
+                    continue
             if logical_a is not None:
                 physical_to_logical[phys_b] = logical_a
             else:
@@ -174,21 +210,21 @@ def verify_routing(
             else:
                 physical_to_logical.pop(phys_a, None)
             continue
-        recovered_operands = tuple(physical_to_logical[q] for q in gate.qubits)
-        match = None
-        for node in frontier.front_nodes():
-            if node.gate.name == gate.name and node.gate.qubits == recovered_operands \
-                    and node.gate.params == gate.params:
-                match = node
-                break
-        if match is None:
+        try:
+            recovered_operands = tuple([physical_to_logical[q] for q in gate.qubits])
+        except KeyError:
+            raise AssertionError(
+                f"routed gate {gate} acts on a physical qubit hosting no logical qubit"
+            ) from None
+        bucket = get_bucket((gate.name, recovered_operands, gate.params))
+        if not bucket:
             raise AssertionError(
                 f"routed gate {gate} (logical operands {recovered_operands}) does not match "
                 "any executable logical gate"
             )
-        frontier.execute(match.index)
-    if not frontier.done:
+        for unblocked in execute(bucket.pop(0)):
+            index_node(unblocked)
+    if frontier.remaining:
         raise AssertionError(
-            f"routed circuit left {frontier._dag.num_nodes - frontier.num_executed} "
-            "logical gates unexecuted"
+            f"routed circuit left {frontier.remaining} logical gates unexecuted"
         )

@@ -1,0 +1,125 @@
+"""Property tests of the SWAP router and routing engine.
+
+Invariants covered (ISSUE satellite list):
+
+* every routed circuit passes :func:`verify_routing` — faithful dependency
+  order, correct logical operands, coupled physical pairs — across random
+  circuits, random connected architectures, and random router parameters
+  (including bidirectional passes and seeded restarts);
+* the routed circuit conserves the original gates: exactly the input
+  gates plus ``num_swaps`` swap gates;
+* routing is deterministic: same inputs, same routed circuit;
+* the livelock escape hatch (``stall_threshold=0`` forces every blocked
+  gate through ``_force_route``) still produces verifiable routings.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuit import QuantumCircuit
+from repro.circuit.gates import cx, h, measure, swap
+from repro.hardware import Architecture, Lattice
+from repro.mapping import RoutingEngine, SabreParameters, verify_routing
+from strategies import examples
+
+pytestmark = pytest.mark.property
+
+
+@st.composite
+def rectangle_architectures(draw):
+    """Connected rectangle-lattice architectures of 2..12 qubits."""
+    rows = draw(st.integers(1, 3))
+    cols = draw(st.integers(2, 4))
+    return Architecture.from_layout(f"rect_{rows}x{cols}", Lattice.rectangle(rows, cols))
+
+
+@st.composite
+def random_circuits(draw, num_qubits: int):
+    """Random CNOT + single-qubit + measurement circuits on ``num_qubits``."""
+    num_gates = draw(st.integers(1, 30))
+    gates = []
+    for _ in range(num_gates):
+        kind = draw(st.integers(0, 4))
+        if kind <= 1 and num_qubits >= 2:
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 2))
+            if b >= a:
+                b += 1
+            gates.append(cx(a, b))
+        elif kind == 2 and num_qubits >= 2:
+            # Program-level swap gates: must route like any two-qubit gate
+            # and must not be mistaken for router-inserted swaps.
+            a = draw(st.integers(0, num_qubits - 1))
+            b = draw(st.integers(0, num_qubits - 2))
+            if b >= a:
+                b += 1
+            gates.append(swap(a, b))
+        elif kind == 3:
+            gates.append(h(draw(st.integers(0, num_qubits - 1))))
+        else:
+            gates.append(measure(draw(st.integers(0, num_qubits - 1))))
+    circuit = QuantumCircuit(num_qubits, name="random")
+    circuit.extend(gates)
+    return circuit
+
+
+@st.composite
+def routing_cases(draw):
+    architecture = draw(rectangle_architectures())
+    circuit = draw(random_circuits(architecture.num_qubits))
+    return architecture, circuit
+
+
+router_parameters = st.builds(
+    SabreParameters,
+    extended_set_size=st.sampled_from([0, 5, 20]),
+    passes=st.sampled_from([1, 3]),
+    restarts=st.sampled_from([1, 2]),
+)
+
+
+class TestRoutedCircuitsAreFaithful:
+    @given(case=routing_cases(), parameters=router_parameters)
+    @settings(max_examples=examples(60))
+    def test_routed_circuit_passes_verification(self, case, parameters):
+        architecture, circuit = case
+        result = RoutingEngine(parameters).route(circuit, architecture)
+        verify_routing(
+            circuit, result.routed_circuit, architecture, result.initial_mapping
+        )
+
+    @given(case=routing_cases())
+    @settings(max_examples=examples(40))
+    def test_gate_conservation(self, case):
+        architecture, circuit = case
+        result = RoutingEngine().route(circuit, architecture)
+        routed = result.routed_circuit
+        program_swaps = sum(1 for gate in circuit if gate.name == "swap")
+        routed_swaps = sum(1 for gate in routed if gate.name == "swap")
+        assert routed_swaps == result.num_swaps + program_swaps
+        assert len(routed) == len(circuit) + result.num_swaps
+        original = sorted((g.name, g.params) for g in circuit if g.name != "swap")
+        mapped = sorted((g.name, g.params) for g in routed if g.name != "swap")
+        assert mapped == original
+
+    @given(case=routing_cases())
+    @settings(max_examples=examples(25))
+    def test_routing_is_deterministic(self, case):
+        architecture, circuit = case
+        first = RoutingEngine().route(circuit, architecture)
+        second = RoutingEngine().route(circuit, architecture)
+        assert first.num_swaps == second.num_swaps
+        assert list(first.routed_circuit.gates) == list(second.routed_circuit.gates)
+
+    @given(case=routing_cases())
+    @settings(max_examples=examples(25))
+    def test_force_route_only_routing_verifies(self, case):
+        architecture, circuit = case
+        engine = RoutingEngine(SabreParameters(stall_threshold=0))
+        result = engine.route(circuit, architecture)
+        verify_routing(
+            circuit, result.routed_circuit, architecture, result.initial_mapping
+        )

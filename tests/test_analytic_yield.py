@@ -85,6 +85,26 @@ class TestAnalyticEstimate:
         assert worst_pair in {(0, 1), (1, 2)}
         assert 0.0 <= probability <= 1.0
 
+    def test_worst_pair_none_without_collision_pairs(self):
+        """A single isolated qubit has no connected pairs; worst_pair is None."""
+        isolated = chain_architecture([5.10])
+        estimate = estimate_yield_analytic(isolated, sigma_ghz=0.03)
+        assert estimate.pair_failure_probabilities == {}
+        assert estimate.yield_rate == 1.0
+        assert estimate.worst_pair() is None
+
+    def test_worst_pair_tie_breaks_deterministically(self):
+        """Exactly tied pairs resolve to the smallest pair tuple."""
+        arch = chain_architecture([5.10, 5.20, 5.10, 5.20, 5.10])
+        estimate = estimate_yield_analytic(arch, sigma_ghz=0.03)
+        probabilities = estimate.pair_failure_probabilities
+        worst_value = max(probabilities.values())
+        tied = [pair for pair, p in probabilities.items() if p == worst_value]
+        assert len(tied) >= 2  # the repeating pattern repeats the worst pair
+        pair, probability = estimate.worst_pair()
+        assert pair == min(tied)
+        assert probability == worst_value
+
     def test_agrees_with_monte_carlo_on_chain(self):
         arch = chain_architecture([5.04, 5.16, 5.28, 5.08, 5.20])
         analytic = estimate_yield_analytic(arch, sigma_ghz=0.03).yield_rate

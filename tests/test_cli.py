@@ -43,6 +43,23 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "sym6_145", "--configs", "nope"])
 
+    def test_router_knob_defaults(self):
+        for command in ("evaluate", "sweep"):
+            args = build_parser().parse_args([command, "sym6_145"])
+            assert args.router_passes == 1
+            assert args.router_restarts == 1
+
+    def test_router_knobs_accepted(self):
+        args = build_parser().parse_args(
+            ["sweep", "sym6_145", "--router-passes", "3", "--router-restarts", "4"]
+        )
+        assert args.router_passes == 3
+        assert args.router_restarts == 4
+
+    def test_even_router_passes_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "sym6_145", "--trials", "50", "--router-passes", "2"])
+
 
 class TestCommands:
     def test_list_outputs_all_benchmarks(self, capsys):

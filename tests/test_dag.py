@@ -99,3 +99,18 @@ class TestExecutionFrontier:
         gates = [cx(0, 1)] + [cx(0, 1) for _ in range(10)]
         frontier = ExecutionFrontier(CircuitDAG(build(2, gates)))
         assert len(frontier.lookahead_nodes(depth=3)) == 3
+
+    def test_lookahead_zero_depth_is_empty(self):
+        gates = [cx(0, 1), cx(0, 1)]
+        frontier = ExecutionFrontier(CircuitDAG(build(2, gates)))
+        assert frontier.lookahead_nodes(depth=0) == []
+
+    def test_remaining_counts_down(self):
+        frontier = ExecutionFrontier(CircuitDAG(build(2, [h(0), h(1), cx(0, 1)])))
+        assert frontier.remaining == 3
+        frontier.execute(0)
+        assert frontier.remaining == 2
+        frontier.execute(1)
+        frontier.execute(2)
+        assert frontier.remaining == 0
+        assert frontier.done

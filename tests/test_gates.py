@@ -108,6 +108,14 @@ class TestGateRemap:
     def test_remap_preserves_name(self):
         assert ry(0.1, 0).remap({0: 4}).name == "ry"
 
+    def test_remap_rejects_non_injective_mapping(self):
+        with pytest.raises(ValueError, match="duplicate qubits"):
+            cx(0, 1).remap({0: 2, 1: 2})
+
+    def test_remapped_gate_equals_directly_built_gate(self):
+        assert cx(0, 1).remap({0: 5, 1: 7}) == cx(5, 7)
+        assert hash(cx(0, 1).remap({0: 5, 1: 7})) == hash(cx(5, 7))
+
 
 class TestGateMisc:
     def test_str_contains_name_and_qubits(self):

@@ -1,0 +1,211 @@
+"""Tests for the routing engine: per-architecture reuse and memoization."""
+
+import pytest
+
+from repro.circuit import QuantumCircuit, cx, h, measure
+from repro.hardware import Architecture, Lattice, ibm_16q_2x8
+from repro.mapping import (
+    RoutingCache,
+    RoutingEngine,
+    SabreParameters,
+    route_circuit,
+)
+from repro.mapping.engine import architecture_cache_key, circuit_cache_key
+
+
+def small_circuit(name="engine_test"):
+    circuit = QuantumCircuit(4, name=name)
+    circuit.extend([cx(0, 3), cx(1, 2), h(0), cx(0, 1), measure(3)])
+    return circuit
+
+
+class TestRoutingCache:
+    def test_get_miss_then_hit(self):
+        cache = RoutingCache()
+        assert cache.lookup(("k",)) is None
+        cache.put(("k",), "value")
+        assert cache.lookup(("k",)) == "value"
+        assert cache.stats() == {"entries": 1, "hits": 1, "misses": 1}
+
+    def test_lru_eviction_bound(self):
+        cache = RoutingCache(max_entries=2)
+        cache.put(("a",), 1)
+        cache.put(("b",), 2)
+        cache.lookup(("a",))  # refresh a; b becomes least recent
+        cache.put(("c",), 3)
+        assert len(cache) == 2
+        assert cache.lookup(("b",)) is None
+        assert cache.lookup(("a",)) == 1
+        assert cache.lookup(("c",)) == 3
+
+    def test_unbounded_cache(self):
+        cache = RoutingCache(max_entries=None)
+        for index in range(600):
+            cache.put((index,), index)
+        assert len(cache) == 600
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            RoutingCache(max_entries=0)
+
+    def test_clear(self):
+        cache = RoutingCache()
+        cache.put(("k",), 1)
+        cache.clear()
+        assert len(cache) == 0
+
+
+class TestCacheKeys:
+    def test_circuit_key_distinguishes_names_and_gates(self):
+        base = small_circuit("one")
+        renamed = small_circuit("two")
+        assert circuit_cache_key(base) != circuit_cache_key(renamed)
+        extended = small_circuit("one").append(h(1))
+        assert circuit_cache_key(base) != circuit_cache_key(extended)
+        assert circuit_cache_key(base) == circuit_cache_key(small_circuit("one"))
+
+    def test_circuit_key_tracks_mutation(self):
+        circuit = small_circuit()
+        before = circuit_cache_key(circuit)
+        circuit.append(h(2))
+        assert circuit_cache_key(circuit) != before
+
+    def test_architecture_key_ignores_frequencies(self):
+        arch = ibm_16q_2x8()
+        with_freqs = arch.with_frequencies({q: 5.1 for q in arch.qubits})
+        assert architecture_cache_key(arch) == architecture_cache_key(with_freqs)
+
+    def test_architecture_key_distinguishes_coupling(self):
+        sparse = ibm_16q_2x8(use_four_qubit_buses=False)
+        dense = ibm_16q_2x8(use_four_qubit_buses=True)
+        assert architecture_cache_key(sparse) != architecture_cache_key(dense)
+
+
+class TestRoutingEngine:
+    def test_memoized_result_identical(self):
+        engine = RoutingEngine()
+        circuit = small_circuit()
+        arch = ibm_16q_2x8()
+        first = engine.route(circuit, arch)
+        second = engine.route(circuit, arch)
+        assert engine.cache.hits == 1
+        assert first.num_swaps == second.num_swaps
+        assert first.initial_mapping == second.initial_mapping
+        assert first.final_mapping == second.final_mapping
+        assert list(first.routed_circuit.gates) == list(second.routed_circuit.gates)
+
+    def test_cached_copies_are_detached(self):
+        engine = RoutingEngine()
+        circuit = small_circuit()
+        arch = ibm_16q_2x8()
+        first = engine.route(circuit, arch)
+        first.initial_mapping[0] = 999
+        first.routed_circuit.append(h(0))
+        second = engine.route(circuit, arch)
+        assert second.initial_mapping.get(0) != 999
+        assert len(second.routed_circuit) == len(first.routed_circuit) - 1
+
+    def test_keep_routed_circuit_honoured_on_hits(self):
+        engine = RoutingEngine()
+        circuit = small_circuit()
+        arch = ibm_16q_2x8()
+        # Counts-only routings cache counts-only entries (sweeps stay light);
+        # a later full request recomputes once and upgrades the entry.
+        dropped = engine.route(circuit, arch, keep_routed_circuit=False)
+        kept = engine.route(circuit, arch, keep_routed_circuit=True)
+        assert dropped.routed_circuit is None
+        assert kept.routed_circuit is not None
+        assert engine.cache.stats()["entries"] == 1
+        # The upgrade recomputed in full, so it counts as a miss, not a hit.
+        assert engine.cache.stats() == {"entries": 1, "hits": 0, "misses": 2}
+        # Both flavours now serve from the upgraded entry.
+        misses_before = engine.cache.misses
+        again_full = engine.route(circuit, arch, keep_routed_circuit=True)
+        again_light = engine.route(circuit, arch, keep_routed_circuit=False)
+        assert engine.cache.misses == misses_before
+        assert again_full.routed_circuit is not None
+        assert again_light.routed_circuit is None
+        assert again_full.num_swaps == dropped.num_swaps == kept.num_swaps
+
+    def test_router_state_shared_per_architecture(self):
+        engine = RoutingEngine()
+        arch = ibm_16q_2x8()
+        assert engine.router_for(arch) is engine.router_for(ibm_16q_2x8())
+        assert engine.distances_for(arch) is engine.router_for(arch).distances
+
+    def test_parameters_partition_the_cache(self):
+        cache = RoutingCache()
+        circuit = small_circuit()
+        arch = ibm_16q_2x8()
+        default = RoutingEngine(cache=cache)
+        tuned = RoutingEngine(SabreParameters(extended_set_size=5), cache=cache)
+        default.route(circuit, arch)
+        tuned.route(circuit, arch)
+        assert cache.stats()["entries"] == 2
+
+    def test_matches_route_circuit(self, line_circuit):
+        arch = ibm_16q_2x8()
+        via_engine = RoutingEngine().route(line_circuit, arch)
+        direct = route_circuit(line_circuit, arch)
+        assert via_engine.num_swaps == direct.num_swaps
+        assert via_engine.total_gates == direct.total_gates
+        assert list(via_engine.routed_circuit.gates) == list(direct.routed_circuit.gates)
+
+    def test_route_circuit_accepts_engine(self, line_circuit):
+        engine = RoutingEngine()
+        arch = ibm_16q_2x8()
+        first = route_circuit(line_circuit, arch, engine=engine)
+        second = route_circuit(line_circuit, arch, engine=engine)
+        assert engine.cache.hits == 1
+        assert first.total_gates == second.total_gates
+
+    def test_route_circuit_rejects_conflicting_parameters(self, line_circuit):
+        engine = RoutingEngine(SabreParameters(extended_set_size=10))
+        with pytest.raises(ValueError):
+            route_circuit(
+                line_circuit,
+                ibm_16q_2x8(),
+                parameters=SabreParameters(extended_set_size=20),
+                engine=engine,
+            )
+
+    def test_route_circuit_matching_parameters_allowed(self, line_circuit):
+        params = SabreParameters(extended_set_size=10)
+        engine = RoutingEngine(params)
+        result = route_circuit(line_circuit, ibm_16q_2x8(), parameters=params, engine=engine)
+        assert result.num_swaps >= 0
+
+    def test_colliding_cache_entry_not_served(self):
+        """An entry whose stored gate tuple differs from the requesting
+        circuit's (a content-hash collision) must be recomputed, not served."""
+        from repro.mapping.engine import _CacheEntry
+
+        engine = RoutingEngine()
+        circuit = small_circuit()
+        arch = ibm_16q_2x8()
+        real = engine.route(circuit, arch)
+        key = (circuit_cache_key(circuit), architecture_cache_key(arch), engine.parameters)
+        engine.cache.put(key, _CacheEntry(gates=(h(0),), result="poisoned"))
+        again = engine.route(circuit, arch)
+        assert again.num_swaps == real.num_swaps
+        assert again.routed_circuit is not None
+
+    def test_mismatched_profile_rejected(self, line_circuit):
+        """The cache keys by circuit only, so a foreign profile must be
+        rejected rather than silently producing/serving a wrong routing."""
+        from repro.benchmarks import get_benchmark
+        from repro.profiling import profile_circuit
+
+        foreign = profile_circuit(get_benchmark("sym6_145"))
+        with pytest.raises(ValueError, match="does not describe circuit"):
+            RoutingEngine().route(line_circuit, ibm_16q_2x8(), profile=foreign)
+
+    def test_disconnected_architecture_rejected(self):
+        disconnected = Architecture(
+            name="disc",
+            lattice=Lattice.from_coordinates({0: (0, 0), 1: (5, 5)}),
+            buses=[],
+        )
+        circuit = QuantumCircuit(2).extend([cx(0, 1)])
+        with pytest.raises(ValueError):
+            RoutingEngine().route(circuit, disconnected)

@@ -45,6 +45,17 @@ class TestRouterCore:
         assert sorted(final.values()) == sorted({0, 1, 2} & set(final.values()))
         assert len(set(final.values())) == 3
 
+    def test_mapping_with_extra_logical_keys_accepted(self):
+        """Extra logical keys beyond the register pin physical qubits but
+        must not crash routing (the pre-refactor router accepted them)."""
+        circuit = QuantumCircuit(2).extend([cx(0, 1), cx(1, 0)])
+        arch = chain_architecture(5)
+        mapping = {0: 0, 1: 2, 2: 1, 3: 3, 4: 4}
+        routed, num_swaps, final = SabreRouter(arch).route(circuit, mapping)
+        verify_routing(circuit, routed, arch, mapping)
+        assert num_swaps >= 1
+        assert set(final) == set(mapping)
+
     def test_invalid_initial_mapping_rejected(self):
         circuit = QuantumCircuit(3).extend([cx(0, 1)])
         arch = chain_architecture(3)
@@ -55,6 +66,13 @@ class TestRouterCore:
             router.route(circuit, {0: 0, 1: 1})
         with pytest.raises(ValueError):
             router.route(circuit, {0: 0, 1: 1, 2: 99})
+        with pytest.raises(ValueError):
+            # Extra logical key colliding with a circuit logical's physical
+            # qubit: corrupts the inverse mapping (would livelock routing).
+            router.route(circuit, {0: 0, 1: 1, 2: 2, 9: 0})
+        with pytest.raises(ValueError):
+            # Extra logical key on an unknown physical qubit.
+            router.route(circuit, {0: 0, 1: 1, 2: 2, 9: 77})
 
     def test_all_routed_two_qubit_gates_on_coupled_pairs(self, line_circuit):
         arch = ibm_16q_2x8()
@@ -87,6 +105,18 @@ class TestRoutingVerification:
         with pytest.raises(AssertionError):
             verify_routing(line_circuit, truncated, arch, result.initial_mapping)
 
+    def test_logical_swap_gates_route_and_verify(self):
+        """Program swap gates are routed like any two-qubit gate and must
+        not be confused with router-inserted swaps during verification."""
+        from repro.circuit.gates import swap
+
+        circuit = QuantumCircuit(4, name="with_logical_swaps")
+        circuit.extend([swap(0, 1), cx(1, 3), swap(0, 3), cx(2, 0), measure(3)])
+        arch = chain_architecture(4)
+        result = route_circuit(circuit, arch)
+        verify_routing(circuit, result.routed_circuit, arch, result.initial_mapping)
+        assert result.original_gates == len(circuit)
+
     def test_verify_rejects_uncoupled_gate(self, line_circuit):
         arch = ibm_16q_2x8()
         result = route_circuit(line_circuit, arch)
@@ -95,6 +125,133 @@ class TestRoutingVerification:
         corrupted.append(cx(0, 15))
         with pytest.raises(AssertionError):
             verify_routing(line_circuit, corrupted, arch, result.initial_mapping)
+
+
+class TestEscapeHatches:
+    def test_force_route_path_still_verifies(self):
+        """stall_threshold=0 funnels every blocked gate through _force_route."""
+        circuit = QuantumCircuit(6, name="forced")
+        for _ in range(3):
+            for qubit in range(5):
+                circuit.append(cx(qubit, qubit + 1))
+            circuit.append(cx(0, 5))
+        arch = chain_architecture(6)
+        params = SabreParameters(stall_threshold=0)
+        result = route_circuit(circuit, arch, parameters=params)
+        verify_routing(circuit, result.routed_circuit, arch, result.initial_mapping)
+        assert result.num_swaps >= 1
+
+    def test_force_route_matches_distance_lower_bound(self):
+        """The greedy walk needs exactly distance-1 swaps on a bare chain."""
+        circuit = QuantumCircuit(5).extend([cx(0, 4)])
+        arch = chain_architecture(5)
+        router = SabreRouter(arch, SabreParameters(stall_threshold=0))
+        routed, num_swaps, _final = router.route(circuit, {q: q for q in range(5)})
+        assert num_swaps == 3
+        assert sum(1 for gate in routed if gate.name == "swap") == 3
+
+    def test_swap_budget_exhaustion_raises(self):
+        circuit = QuantumCircuit(4).extend([cx(0, 3)])
+        arch = chain_architecture(4)
+        router = SabreRouter(arch, SabreParameters(max_swaps_per_gate=0))
+        with pytest.raises(RuntimeError, match="swap budget"):
+            router.route(circuit, {q: q for q in range(4)})
+
+    def test_stall_threshold_validation(self):
+        with pytest.raises(ValueError):
+            SabreParameters(stall_threshold=-1)
+
+
+class TestBidirectionalAndRestarts:
+    def test_invalid_pass_counts_rejected(self):
+        with pytest.raises(ValueError):
+            SabreParameters(passes=0)
+        with pytest.raises(ValueError):
+            SabreParameters(passes=2)
+        with pytest.raises(ValueError):
+            SabreParameters(restarts=0)
+
+    def test_single_pass_route_best_matches_route(self, line_circuit):
+        arch = ibm_16q_2x8()
+        profile = profile_circuit(line_circuit)
+        from repro.mapping import DistanceMatrix, initial_mapping
+
+        mapping = initial_mapping(profile, arch, DistanceMatrix(arch))
+        router = SabreRouter(arch)
+        routed, swaps, final = router.route(line_circuit, dict(mapping))
+        best_routed, best_swaps, best_final, used = router.route_best(line_circuit, mapping)
+        assert best_swaps == swaps
+        assert used == mapping
+        assert best_final == final
+        assert list(best_routed.gates) == list(routed.gates)
+
+    @pytest.mark.parametrize("benchmark_name", ["sym6_145", "qft_16"])
+    def test_bidirectional_never_worse(self, benchmark_name):
+        from repro.benchmarks import get_benchmark
+
+        circuit = get_benchmark(benchmark_name)
+        arch = ibm_16q_2x8()
+        single = route_circuit(circuit, arch, parameters=SabreParameters(passes=1))
+        refined = route_circuit(circuit, arch, parameters=SabreParameters(passes=3))
+        assert refined.num_swaps <= single.num_swaps
+        verify_routing(circuit, refined.routed_circuit, arch, refined.initial_mapping)
+
+    def test_restarts_never_worse_and_deterministic(self):
+        from repro.benchmarks import get_benchmark
+
+        circuit = get_benchmark("sym6_145")
+        arch = ibm_16q_2x8()
+        single = route_circuit(circuit, arch)
+        restarted = SabreParameters(restarts=3)
+        first = route_circuit(circuit, arch, parameters=restarted)
+        second = route_circuit(circuit, arch, parameters=restarted)
+        assert first.num_swaps <= single.num_swaps
+        assert first.num_swaps == second.num_swaps
+        assert first.initial_mapping == second.initial_mapping
+        verify_routing(circuit, first.routed_circuit, arch, first.initial_mapping)
+
+    def test_restarts_on_single_qubit_architecture(self):
+        """Degenerate chips have nothing to transpose; restarts must not crash."""
+        circuit = QuantumCircuit(1).extend([h(0), measure(0)])
+        arch = chain_architecture(1)
+        result = route_circuit(
+            circuit, arch, parameters=SabreParameters(restarts=3, passes=3)
+        )
+        assert result.num_swaps == 0
+        assert len(result.routed_circuit) == 2
+
+    def test_bidirectional_winner_replays_from_recorded_mapping(self):
+        """With passes > 1 the winning pass's initial mapping is recorded."""
+        from repro.benchmarks import get_benchmark
+
+        circuit = get_benchmark("qft_16")
+        arch = ibm_16q_2x8()
+        result = route_circuit(
+            circuit, arch, parameters=SabreParameters(passes=3, restarts=2)
+        )
+        verify_routing(circuit, result.routed_circuit, arch, result.initial_mapping)
+
+
+class TestSwapCountRegression:
+    """The incremental router must never route worse than the pre-refactor
+    router did; the pinned counts are the old router's on the seed tree."""
+
+    PRE_REFACTOR_SWAPS = {
+        ("sym6_145", False): 280,
+        ("sym6_145", True): 207,
+        ("z4_268", False): 402,
+        ("z4_268", True): 287,
+        ("qft_16", False): 134,
+        ("qft_16", True): 76,
+    }
+
+    @pytest.mark.parametrize("benchmark_name,four_qubit", sorted(PRE_REFACTOR_SWAPS))
+    def test_swap_counts_do_not_regress(self, benchmark_name, four_qubit):
+        from repro.benchmarks import get_benchmark
+
+        circuit = get_benchmark(benchmark_name)
+        result = route_circuit(circuit, ibm_16q_2x8(use_four_qubit_buses=four_qubit))
+        assert result.num_swaps <= self.PRE_REFACTOR_SWAPS[(benchmark_name, four_qubit)]
 
 
 class TestDenseCouplingAdvantage:
