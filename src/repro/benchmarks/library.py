@@ -98,15 +98,32 @@ BENCHMARK_NAMES: Tuple[str, ...] = tuple(_BENCHMARK_INFO)
 
 
 def _build(name: str) -> QuantumCircuit:
-    if name in _REVERSIBLE_SPECS:
-        return reversible_circuit(_REVERSIBLE_SPECS[name])
-    if name == "UCCSD_ansatz_8":
-        return uccsd_ansatz_circuit(8)
-    if name == "ising_model_16":
-        return ising_model_circuit(16)
-    if name == "qft_16":
-        return qft_circuit(16)
-    raise KeyError(name)
+    """Synthesize the named benchmark, memoized, returning a caller-owned copy.
+
+    Benchmark synthesis is deterministic but not free (the reversible
+    substitutes decompose hundreds of multi-controlled gates), and sweep
+    workers rebuild their circuit once per task.  The master circuit per
+    name is built once per process; every caller receives a fresh copy,
+    so mutating a returned circuit can never leak into later calls.
+    """
+    master = _MASTERS.get(name)
+    if master is None:
+        if name in _REVERSIBLE_SPECS:
+            master = reversible_circuit(_REVERSIBLE_SPECS[name])
+        elif name == "UCCSD_ansatz_8":
+            master = uccsd_ansatz_circuit(8)
+        elif name == "ising_model_16":
+            master = ising_model_circuit(16)
+        elif name == "qft_16":
+            master = qft_circuit(16)
+        else:
+            raise KeyError(name)
+        master.content_hash()  # warm the digest so every copy shares it
+        _MASTERS[name] = master
+    return master.copy()
+
+
+_MASTERS: Dict[str, QuantumCircuit] = {}
 
 
 def get_benchmark(name: str) -> QuantumCircuit:

@@ -8,6 +8,7 @@ qubit counts — it does not simulate state vectors.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.circuit.gates import Gate, GateKind
@@ -45,14 +46,21 @@ class QuantumCircuit:
         return self._gates_tuple
 
     def content_hash(self) -> int:
-        """A hash of the gate sequence, cached until the next append.
+        """A 64-bit digest of the gate sequence, cached until the next append.
 
         Routing caches key circuits by value; hashing thousands of gate
         dataclasses per lookup would dwarf the lookup itself, so the digest
-        is computed once per mutation generation.
+        is computed once per mutation generation.  It is derived from
+        SHA-256 over a canonical per-gate encoding — **not** Python's
+        salted ``hash()`` — so the same circuit digests identically in
+        every process, which persisted routing caches rely on for their
+        keys to match across invocations.
         """
         if self._content_hash is None:
-            self._content_hash = hash(self.gates)
+            digest = hashlib.sha256()
+            for gate in self.gates:
+                digest.update(repr((gate.name, gate.qubits, gate.params)).encode())
+            self._content_hash = int.from_bytes(digest.digest()[:8], "big")
         return self._content_hash
 
     def __len__(self) -> int:
@@ -116,9 +124,18 @@ class QuantumCircuit:
         return self.extend(other.gates)
 
     def copy(self, name: Optional[str] = None) -> "QuantumCircuit":
-        """Return a shallow copy (gates are immutable, so this is safe)."""
+        """Return a shallow copy (gates are immutable, so this is safe).
+
+        The cached gate tuple and content digest carry over — they
+        describe the same gate sequence — so copies hit the engines'
+        identity fast paths instead of re-hashing or re-comparing
+        thousands of gates; either cache resets independently on the
+        copy's next append.
+        """
         new = QuantumCircuit(self._num_qubits, name or self.name)
         new._gates = list(self._gates)
+        new._gates_tuple = self._gates_tuple
+        new._content_hash = self._content_hash
         return new
 
     def remap_qubits(self, mapping: Dict[int, int], num_qubits: Optional[int] = None,

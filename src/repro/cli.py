@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 
 from repro.benchmarks.library import BENCHMARK_NAMES, benchmark_info, get_benchmark
 from repro.collision.yield_simulator import YieldSimulator
+from repro.design.frequency_allocation import ALLOCATION_STRATEGIES
 from repro.design.flow import DesignFlow, DesignOptions
 from repro.evaluation.configs import ExperimentConfig
 from repro.evaluation.experiment import (
@@ -58,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     design_parser.add_argument(
         "--trials", type=int, default=10_000, help="Monte Carlo trials for yield estimation"
+    )
+    design_parser.add_argument(
+        "--alloc-strategy", default="bfs-greedy",
+        choices=sorted(ALLOCATION_STRATEGIES),
+        help="Algorithm 3 search strategy (default: the paper-exact bfs-greedy)",
     )
 
     evaluate_parser = subparsers.add_parser(
@@ -104,6 +110,13 @@ def _add_router_arguments(parser: argparse.ArgumentParser) -> None:
         "--router-restarts", type=int, default=1, metavar="K",
         help="best-of-K seeded restarts per routing (deterministic)",
     )
+    group.add_argument(
+        "--routing-cache", default=None, metavar="PATH",
+        help="persisted routing-result cache (counts-only JSON): loaded "
+             "before routing — by every worker, for sweeps — and refreshed "
+             "after in-process runs, so routing work is reused across "
+             "invocations",
+    )
 
 
 def _router_parameters(args: argparse.Namespace) -> SabreParameters:
@@ -122,12 +135,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "profile":
         return _cmd_profile(args.benchmark)
     if args.command == "design":
-        return _cmd_design(args.benchmark, args.buses, args.trials)
+        return _cmd_design(args.benchmark, args.buses, args.trials, args.alloc_strategy)
     if args.command == "evaluate":
-        return _cmd_evaluate(args.benchmarks, args.trials, args.plot, _router_parameters(args))
+        return _cmd_evaluate(args.benchmarks, args.trials, args.plot, _router_parameters(args),
+                             args.routing_cache)
     if args.command == "sweep":
         return _cmd_sweep(args.benchmarks, args.jobs, args.trials, args.configs, args.plot,
-                          _router_parameters(args))
+                          _router_parameters(args), args.routing_cache)
     return 2
 
 
@@ -152,9 +166,10 @@ def _cmd_profile(benchmark: str) -> int:
     return 0
 
 
-def _cmd_design(benchmark: str, buses: Optional[int], trials: int) -> int:
+def _cmd_design(benchmark: str, buses: Optional[int], trials: int,
+                alloc_strategy: str = "bfs-greedy") -> int:
     circuit = get_benchmark(benchmark)
-    flow = DesignFlow(circuit, DesignOptions())
+    flow = DesignFlow(circuit, DesignOptions(allocation_strategy=alloc_strategy))
     simulator = YieldSimulator(trials=trials, seed=7)
     architectures = (
         flow.design_series() if buses is None else [flow.design(max_four_qubit_buses=buses)]
@@ -183,7 +198,10 @@ def _cmd_sweep(
     config_values: Optional[List[str]],
     plot: bool,
     routing: SabreParameters,
+    routing_cache: Optional[str] = None,
 ) -> int:
+    from repro.evaluation.parallel import save_worker_routing_cache
+
     # Canonicalize up front: fails fast on unknown names (before forking
     # workers) and collapses aliases/duplicates onto the sweep's keys.
     names = list(dict.fromkeys(get_benchmark(name).name for name in benchmarks))
@@ -192,24 +210,46 @@ def _cmd_sweep(
         if config_values
         else DEFAULT_CONFIGS
     )
-    settings = EvaluationSettings(yield_trials=trials, routing=routing)
+    settings = EvaluationSettings(yield_trials=trials, routing=routing,
+                                  routing_cache_path=routing_cache)
     results = run_sweep(names, jobs=jobs, settings=settings, configs=configs)
+    # In-process sweeps (--jobs 1) accumulate routing results here; persist
+    # them so later invocations — serial or sharded — start warm.
+    if save_worker_routing_cache(settings) is None and routing_cache and jobs > 1:
+        print(
+            f"repro-design: note: --jobs {jobs} workers warm-loaded "
+            f"{routing_cache} but routed in their own processes; run once "
+            "with --jobs 1 to refresh the cache file",
+            file=sys.stderr,
+        )
     for name in names:
         _print_result(results[name], plot)
     return 0
 
 
 def _cmd_evaluate(benchmarks: List[str], trials: int, plot: bool,
-                  routing: SabreParameters) -> int:
+                  routing: SabreParameters, routing_cache: Optional[str] = None) -> int:
+    from repro.design import DesignEngine
     from repro.mapping import RoutingEngine
 
-    settings = EvaluationSettings(yield_trials=trials, routing=routing)
-    # One engine across benchmarks: the IBM baselines repeat, so their
-    # routers/distance matrices are built once per invocation.
+    settings = EvaluationSettings(yield_trials=trials, routing=routing,
+                                  routing_cache_path=routing_cache)
+    # One engine of each kind across benchmarks: the IBM baselines repeat,
+    # so their routers/distance matrices are built once per invocation, and
+    # design stages shared between benchmarks are computed once.
     engine = RoutingEngine(routing)
+    if routing_cache:
+        engine.cache.load(routing_cache, missing_ok=True)
+    design_engine = DesignEngine()
     for name in benchmarks:
         circuit = get_benchmark(name)
-        _print_result(evaluate_benchmark(circuit, settings=settings, engine=engine), plot)
+        _print_result(evaluate_benchmark(circuit, settings=settings, engine=engine,
+                                         design_engine=design_engine), plot)
+    if routing_cache:
+        # Re-merge the file first so a concurrent writer's (or an earlier
+        # run's) entries are not dropped by the rewrite.
+        engine.cache.load(routing_cache, missing_ok=True)
+        engine.cache.save(routing_cache)
     return 0
 
 

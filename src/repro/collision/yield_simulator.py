@@ -220,12 +220,69 @@ class YieldSimulator:
             return [
                 self.estimate_from_arrays(frequencies_batch[0], pairs_array, triples_array)
             ]
-        if not self._foldable_thresholds():
-            return self._estimate_batch_generic(
-                frequencies_batch, pairs_array, triples_array, max_chunk_elements
-            )
+        counts = self.failure_counts(
+            frequencies_batch, pairs_array, triples_array,
+            max_chunk_elements=max_chunk_elements,
+        )
+        return [
+            self._estimate_from_successes(self.trials - int(count)) for count in counts
+        ]
 
-        noise = self._draw_noise(num_qubits)
+    def failure_counts(
+        self,
+        frequencies_batch: np.ndarray,
+        pairs: Sequence[Tuple[int, int]],
+        triples: Sequence[Tuple[int, int, int]],
+        noise: Optional[np.ndarray] = None,
+        max_chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    ) -> np.ndarray:
+        """Per-candidate failed-trial counts for a batch of frequency plans.
+
+        The raw integer form of :meth:`estimate_batch` — one failed-trial
+        count per candidate row, computed through the same vectorized
+        kernels.  The frequency-allocation hot loop uses this entry point
+        directly: it avoids per-candidate :class:`YieldEstimate` object
+        construction and accepts a caller-owned ``noise`` tensor so common
+        random numbers can be drawn once and reused across repeated
+        scorings of the same qubit (refinement sweeps, pruned re-ranks).
+
+        Args:
+            frequencies_batch: ``(num_candidates, num_qubits)`` designed
+                frequencies (a 1-D vector is a batch of one).
+            pairs: Connected pairs ``(j, k)``, as qubit column indices.
+            triples: Triples ``(j, i, k)``, as qubit column indices.
+            noise: Optional ``(trials, num_qubits)`` fabrication-noise
+                tensor.  When omitted it is drawn from this simulator's
+                seed, which makes the result bit-identical to
+                :meth:`estimate_batch` on the same inputs.
+            max_chunk_elements: Bound on candidates x trials x qubits
+                elements materialized at once.
+        """
+        frequencies_batch = np.atleast_2d(np.asarray(frequencies_batch, dtype=float))
+        num_candidates, num_qubits = frequencies_batch.shape
+        pairs_array, triples_array = collision_index_arrays(pairs, triples)
+        if pairs_array.size == 0 and triples_array.size == 0:
+            return np.zeros(num_candidates, dtype=np.int64)
+        if noise is None:
+            noise = self._draw_noise(num_qubits)
+        if not self._foldable_thresholds():
+            return self._failure_counts_generic(
+                frequencies_batch, pairs_array, triples_array, noise, max_chunk_elements
+            )
+        return self._failure_counts_folded(
+            frequencies_batch, pairs_array, triples_array, noise, max_chunk_elements
+        )
+
+    def _failure_counts_folded(
+        self,
+        frequencies_batch: np.ndarray,
+        pairs_array: np.ndarray,
+        triples_array: np.ndarray,
+        noise: np.ndarray,
+        max_chunk_elements: int,
+    ) -> np.ndarray:
+        """The folded-interval batch kernel (see :meth:`_foldable_thresholds`)."""
+        num_candidates = frequencies_batch.shape[0]
         delta = self.delta_ghz
         t = self.thresholds
         # Common random numbers factored per connection: the noise part of
@@ -262,7 +319,7 @@ class YieldSimulator:
 
         width = max(pair_noise.shape[1], triple_ik_noise.shape[1], 1)
         chunk = max(1, int(max_chunk_elements) // max(1, self.trials * width))
-        estimates: List[YieldEstimate] = []
+        counts = np.empty(num_candidates, dtype=np.int64)
         for start in range(0, num_candidates, chunk):
             stop = min(start + chunk, num_candidates)
             block = stop - start
@@ -293,9 +350,8 @@ class YieldSimulator:
                 np.abs(total, out=total)
                 hit |= total < t.condition_7_ghz
                 self._fold_any(hit, failed)
-            for row in failed:
-                estimates.append(self._estimate_from_successes(int(self.trials - row.sum())))
-        return estimates
+            counts[start:stop] = failed.sum(axis=1)
+        return counts
 
     def collision_mask(
         self,
@@ -380,25 +436,24 @@ class YieldSimulator:
         for column in range(hit.shape[1]):
             np.logical_or(out, hit[:, column], out=out)
 
-    def _estimate_batch_generic(
+    def _failure_counts_generic(
         self,
         frequencies_batch: np.ndarray,
         pairs_array: np.ndarray,
         triples_array: np.ndarray,
+        noise: np.ndarray,
         max_chunk_elements: int,
-    ) -> List[YieldEstimate]:
+    ) -> np.ndarray:
         """Chunked batch evaluation through the generic condition masks."""
         num_candidates, num_qubits = frequencies_batch.shape
-        noise = self._draw_noise(num_qubits)
         chunk = max(1, int(max_chunk_elements) // max(1, self.trials * num_qubits))
-        estimates: List[YieldEstimate] = []
+        counts = np.empty(num_candidates, dtype=np.int64)
         for start in range(0, num_candidates, chunk):
             block = frequencies_batch[start:start + chunk]
             sampled = (block[:, None, :] + noise[None, :, :]).reshape(-1, num_qubits)
             failed = self._collision_mask_from_indices(sampled, pairs_array, triples_array)
-            for row in failed.reshape(block.shape[0], self.trials):
-                estimates.append(self._estimate_from_successes(int(self.trials - row.sum())))
-        return estimates
+            counts[start:start + chunk] = failed.reshape(block.shape[0], self.trials).sum(axis=1)
+        return counts
 
     def __repr__(self) -> str:
         return (

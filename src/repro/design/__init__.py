@@ -23,7 +23,14 @@ from repro.design.bus_selection import (
     select_four_qubit_buses,
     select_random_buses,
 )
-from repro.design.frequency_allocation import FrequencyAllocator, allocate_frequencies
+from repro.design.frequency_allocation import (
+    ALLOCATION_STRATEGIES,
+    AllocationStrategy,
+    FrequencyAllocator,
+    allocate_frequencies,
+    resolve_strategy,
+)
+from repro.design.engine import DesignEngine, StageCache
 from repro.design.flow import (
     DesignFlow,
     DesignOptions,
@@ -38,8 +45,13 @@ __all__ = [
     "cross_coupling_weights",
     "select_four_qubit_buses",
     "select_random_buses",
+    "ALLOCATION_STRATEGIES",
+    "AllocationStrategy",
     "FrequencyAllocator",
     "allocate_frequencies",
+    "resolve_strategy",
+    "DesignEngine",
+    "StageCache",
     "DesignFlow",
     "DesignOptions",
     "design_architecture",

@@ -12,66 +12,39 @@
 Varying the maximum number of 4-qubit buses produces a *series* of
 architectures trading yield for performance, which is how the paper draws
 each blue ``eff-full`` curve of Figure 10.
+
+The flow itself executes on a :class:`~repro.design.engine.DesignEngine`,
+which memoizes each stage independently under content-derived keys: a
+flow owns a private engine by default, and callers generating many
+related designs (evaluation sweeps, benchmark grids) pass one shared
+engine so profiles, layouts, bus-selection sequences and frequency plans
+are computed once per distinct input instead of once per flow.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.circuit.circuit import QuantumCircuit
-from repro.design.bus_selection import (
-    BusSelectionResult,
-    select_four_qubit_buses,
-    select_random_buses,
+from repro.design.bus_selection import BusSelectionResult
+from repro.design.engine import (
+    BusStrategy,
+    DesignEngine,
+    DesignOptions,
+    FrequencyStrategy,
 )
-from repro.design.frequency_allocation import FrequencyAllocator
-from repro.design.layout import LayoutResult, design_layout
+from repro.design.layout import LayoutResult
 from repro.hardware.architecture import Architecture
-from repro.hardware.frequency import DEFAULT_SIGMA_GHZ, five_frequency_scheme
-from repro.profiling.profiler import CircuitProfile, profile_circuit
+from repro.profiling.profiler import CircuitProfile
 
-
-class BusStrategy(enum.Enum):
-    """How 4-qubit bus squares are chosen."""
-
-    FILTERED_WEIGHT = "filtered_weight"
-    RANDOM = "random"
-
-
-class FrequencyStrategy(enum.Enum):
-    """How qubit frequencies are designed."""
-
-    OPTIMIZED = "optimized"
-    FIVE_FREQUENCY = "five_frequency"
-
-
-@dataclass
-class DesignOptions:
-    """Knobs of the design flow.
-
-    Attributes:
-        bus_strategy: Filtered-weight greedy (Algorithm 2) or random selection.
-        frequency_strategy: Centre-out yield-driven search (Algorithm 3) or
-            IBM's regular 5-frequency scheme.
-        sigma_ghz: Fabrication precision assumed during frequency allocation.
-        local_trials: Monte Carlo trials per candidate in Algorithm 3.
-        random_bus_seed: Seed for the random bus selection baseline.
-        frequency_seed: Seed for the frequency allocator's local simulations.
-        frequency_refinement_passes: Coordinate-descent sweeps after the
-            BFS frequency assignment.  The default of 0 reproduces the
-            paper's Algorithm 3 exactly; non-zero values implement the
-            global-optimization extension the paper's Discussion suggests.
-    """
-
-    bus_strategy: BusStrategy = BusStrategy.FILTERED_WEIGHT
-    frequency_strategy: FrequencyStrategy = FrequencyStrategy.OPTIMIZED
-    sigma_ghz: float = DEFAULT_SIGMA_GHZ
-    local_trials: int = 2000
-    random_bus_seed: Optional[int] = None
-    frequency_seed: int = 2020
-    frequency_refinement_passes: int = 0
+__all__ = [
+    "BusStrategy",
+    "FrequencyStrategy",
+    "DesignOptions",
+    "DesignFlow",
+    "design_architecture",
+    "design_architecture_series",
+]
 
 
 class DesignFlow:
@@ -81,48 +54,44 @@ class DesignFlow:
         circuit: The quantum program to design an architecture for.
         options: Flow configuration (defaults reproduce the paper's
             ``eff-full`` configuration).
+        engine: Optional shared :class:`DesignEngine`; a private engine is
+            created when omitted.  Results are identical either way —
+            sharing only changes how much work is memoized across flows.
     """
 
-    def __init__(self, circuit: QuantumCircuit, options: Optional[DesignOptions] = None) -> None:
+    def __init__(
+        self,
+        circuit: QuantumCircuit,
+        options: Optional[DesignOptions] = None,
+        engine: Optional[DesignEngine] = None,
+    ) -> None:
         self.circuit = circuit
         self.options = options or DesignOptions()
-        self._profile: Optional[CircuitProfile] = None
-        self._layout: Optional[LayoutResult] = None
+        self.engine = engine if engine is not None else DesignEngine()
 
     # -- cached intermediate results ------------------------------------------------
 
     @property
     def profile(self) -> CircuitProfile:
-        """Profiling result (computed lazily, cached)."""
-        if self._profile is None:
-            self._profile = profile_circuit(self.circuit)
-        return self._profile
+        """Profiling result (computed lazily, memoized by the engine)."""
+        return self.engine.profile(self.circuit)
 
     @property
     def layout(self) -> LayoutResult:
-        """Layout design result (computed lazily, cached)."""
-        if self._layout is None:
-            self._layout = design_layout(self.profile)
-        return self._layout
+        """Layout design result (computed lazily, memoized by the engine)."""
+        return self.engine.layout(self.circuit)
 
     def max_four_qubit_buses(self) -> int:
         """The largest number of 4-qubit buses the generated layout can host."""
-        return select_four_qubit_buses(self.layout.lattice, self.profile, None).max_available
+        return self.engine.max_four_qubit_buses(self.circuit, self.options)
 
     # -- single architecture --------------------------------------------------------
 
     def design(self, max_four_qubit_buses: int = 0, name: Optional[str] = None) -> Architecture:
         """Produce one architecture with at most the given number of 4-qubit buses."""
-        selection = self._select_buses(max_four_qubit_buses)
-        architecture = Architecture.from_layout(
-            name=name or self._default_name(len(selection.selected_squares)),
-            lattice=self.layout.lattice,
-            four_qubit_squares=selection.selected_squares,
-            logical_to_physical=self.layout.logical_to_physical,
+        return self.engine.design(
+            self.circuit, max_four_qubit_buses, self.options, name=name
         )
-        frequencies = self._design_frequencies(architecture)
-        architecture.frequencies = frequencies
-        return architecture
 
     def design_series(self, max_buses: Optional[int] = None) -> List[Architecture]:
         """A series of architectures with 0, 1, ..., N 4-qubit buses.
@@ -133,44 +102,17 @@ class DesignFlow:
         prohibition constraint ran out of squares) would duplicate the
         previous member, so such duplicates are dropped.
         """
-        limit = self.max_four_qubit_buses() if max_buses is None else int(max_buses)
-        series: List[Architecture] = []
-        for k in range(limit + 1):
-            architecture = self.design(max_four_qubit_buses=k)
-            if series and len(architecture.four_qubit_buses()) == len(
-                series[-1].four_qubit_buses()
-            ):
-                continue
-            series.append(architecture)
-        return series
+        return self.engine.design_series(self.circuit, max_buses, self.options)
 
     # -- internals -------------------------------------------------------------------
 
     def _select_buses(self, max_buses: int) -> BusSelectionResult:
-        if max_buses < 0:
-            raise ValueError("the number of 4-qubit buses cannot be negative")
-        if self.options.bus_strategy is BusStrategy.RANDOM:
-            return select_random_buses(
-                self.layout.lattice, max_buses, seed=self.options.random_bus_seed
-            )
-        return select_four_qubit_buses(self.layout.lattice, self.profile, max_buses)
+        """The bus selection for one budget (kept for API compatibility)."""
+        return self.engine.bus_selection(self.circuit, max_buses, self.options)
 
     def _design_frequencies(self, architecture: Architecture) -> Dict[int, float]:
-        if self.options.frequency_strategy is FrequencyStrategy.FIVE_FREQUENCY:
-            return five_frequency_scheme(architecture.coordinates())
-        allocator = FrequencyAllocator(
-            sigma_ghz=self.options.sigma_ghz,
-            local_trials=self.options.local_trials,
-            seed=self.options.frequency_seed,
-            refinement_passes=self.options.frequency_refinement_passes,
-        )
-        return allocator.allocate(architecture)
-
-    def _default_name(self, num_buses: int) -> str:
-        strategy = "rd" if self.options.bus_strategy is BusStrategy.RANDOM else "eff"
-        freq = "5freq" if self.options.frequency_strategy is FrequencyStrategy.FIVE_FREQUENCY \
-            else "optfreq"
-        return f"{strategy}_{self.circuit.name}_{num_buses}x4qbus_{freq}"
+        """The frequency plan for a finished connection design (engine stage)."""
+        return self.engine.frequencies_for(architecture, self.options)
 
 
 def design_architecture(

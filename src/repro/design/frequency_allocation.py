@@ -12,13 +12,50 @@ therefore fixes the centre qubit to the middle of the band and then walks
 the coupling graph breadth-first, assigning each newly reached qubit the
 candidate frequency that maximizes the simulated yield of its *local
 region* (the already-assigned qubits it can collide with).
+
+Two structural layers keep the search fast:
+
+* **Incidence maps** — the global pair/triple lists are indexed by member
+  qubit once per architecture, and every connection carries an
+  incrementally maintained count of its still-unassigned members, so each
+  local region is assembled in O(degree^2) instead of re-filtering the
+  whole chip's connection lists per (qubit, pass).
+* **One CRN noise tensor per qubit** — the common-random-numbers noise
+  used to compare a qubit's candidates is drawn once (from the same
+  per-qubit seed as always) and reused by every scoring of that qubit in
+  the same allocation: refinement sweeps and pruned re-ranks never redraw.
+
+**Candidate tie-break.**  Monte Carlo yields are integer success counts
+over ``local_trials``, so exact ties between candidates are common
+(typically several candidates survive every trial).  Candidates whose
+yield is within ``1e-12`` of the best are tied; among them the allocator
+picks the one closest to the middle of the allowed band, measured in
+candidate-grid steps, and the *lower* frequency when two are equally
+close.  Centre preference keeps the most slack on both sides for the
+qubits assigned later; the rule is deterministic and documented here
+instead of silently taking the lowest-frequency tied candidate.
+
+**Allocation strategies.**  The search order and candidate filtering are
+pluggable through :class:`AllocationStrategy`:
+
+* ``bfs-greedy`` (default) — the paper's Algorithm 3 exactly: centre
+  qubit mid-band, breadth-first greedy over the full candidate grid.
+* ``coordinate-descent`` — BFS greedy followed by full-assignment
+  refinement sweeps (the global-optimization extension suggested by the
+  paper's Discussion; also selected implicitly by
+  ``refinement_passes > 0``).
+* ``analytic-guided`` — BFS order, but each qubit's candidate grid is
+  first pruned with the closed-form pair-collision model of
+  :mod:`repro.collision.analytic`; only the analytically most promising
+  candidates are Monte Carlo ranked.  Faster, not bit-identical to the
+  paper-exact search.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -35,6 +72,387 @@ from repro.hardware.frequency import (
     middle_frequency,
 )
 from repro.utils.rng import seed_for
+
+#: Two candidate yields within this tolerance count as tied.  Monte Carlo
+#: yields are multiples of ``1/local_trials``, so this is equivalent to
+#: exact equality of success counts for any realistic trial count.
+TIE_TOLERANCE = 1e-12
+
+
+class _AllocationContext:
+    """Per-architecture state shared by every allocation strategy.
+
+    Built once per :meth:`FrequencyAllocator.allocate` call: the coupling
+    structure (adjacency, collision pairs/triples), the per-qubit
+    incidence maps into those lists, the candidate grid with its
+    mid-band tie-break distances, and the per-qubit CRN noise cache.
+    """
+
+    def __init__(self, allocator: "FrequencyAllocator", architecture: Architecture) -> None:
+        self.allocator = allocator
+        self.architecture = architecture
+        self.qubits: List[int] = architecture.qubits
+        self.center: int = architecture.lattice.central_qubit()
+
+        edges = architecture.coupling_edges()
+        adjacency: Dict[int, Set[int]] = {q: set() for q in self.qubits}
+        for a, b in edges:
+            adjacency[a].add(b)
+            adjacency[b].add(a)
+        self.neighbors: Dict[int, List[int]] = {
+            q: sorted(adjacency[q]) for q in self.qubits
+        }
+
+        # Collision connections, in the same global order the architecture
+        # reports them (pairs = coupling edges; triples enumerated per
+        # centre qubit over its sorted neighbour pairs).
+        self.pairs: List[Tuple[int, int]] = edges
+        triples: List[Tuple[int, int, int]] = []
+        for j in self.qubits:
+            around = self.neighbors[j]
+            for idx_a in range(len(around)):
+                for idx_b in range(idx_a + 1, len(around)):
+                    triples.append((j, around[idx_a], around[idx_b]))
+        self.triples = triples
+
+        # Incidence maps: connection indices by member qubit, ascending —
+        # filtering a qubit's incidence list preserves the relative order
+        # of the global list, exactly like filtering the global list did.
+        self._pair_incidence: Dict[int, List[int]] = {q: [] for q in self.qubits}
+        for index, (a, b) in enumerate(self.pairs):
+            self._pair_incidence[a].append(index)
+            self._pair_incidence[b].append(index)
+        self._triple_incidence: Dict[int, List[int]] = {q: [] for q in self.qubits}
+        for index, (j, i, k) in enumerate(self.triples):
+            self._triple_incidence[j].append(index)
+            self._triple_incidence[i].append(index)
+            self._triple_incidence[k].append(index)
+
+        # Incrementally maintained unassigned-member counts per connection.
+        self._pair_unassigned = [2] * len(self.pairs)
+        self._triple_unassigned = [3] * len(self.triples)
+        self._assigned: Set[int] = set()
+
+        self.candidates: np.ndarray = candidate_frequencies(allocator.frequency_step_ghz)
+        mid = middle_frequency()
+        # Tie-break distances in whole candidate-grid steps: float |cand -
+        # mid| would order exactly mid-symmetric candidates by rounding
+        # noise instead of by the documented lower-frequency preference.
+        self._mid_distance = np.abs(
+            np.rint((self.candidates - mid) / allocator.frequency_step_ghz)
+        ).astype(np.int64)
+
+        self._simulator = YieldSimulator(
+            trials=allocator.local_trials,
+            sigma_ghz=allocator.sigma_ghz,
+            delta_ghz=allocator.delta_ghz,
+            thresholds=allocator.thresholds,
+        )
+        self._noise_cache: Dict[Tuple[int, int], np.ndarray] = {}
+
+    # -- assignment bookkeeping ------------------------------------------------
+
+    def mark_assigned(self, qubit: int) -> None:
+        """Record ``qubit`` as assigned; decrement its connections' counters."""
+        if qubit in self._assigned:
+            return
+        self._assigned.add(qubit)
+        for index in self._pair_incidence[qubit]:
+            self._pair_unassigned[index] -= 1
+        for index in self._triple_incidence[qubit]:
+            self._triple_unassigned[index] -= 1
+
+    def traversal_order(self) -> List[int]:
+        """Breadth-first order over the coupling graph from the centre qubit.
+
+        Qubits unreachable from the centre (possible only for degenerate
+        layouts) are appended afterwards in index order so every qubit
+        gets a frequency.
+        """
+        order: List[int] = []
+        visited: Set[int] = {self.center}
+        queue = deque([self.center])
+        while queue:
+            current = queue.popleft()
+            order.append(current)
+            for neighbor in self.neighbors[current]:
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    queue.append(neighbor)
+        for qubit in self.qubits:
+            if qubit not in visited:
+                order.append(qubit)
+        return order
+
+    # -- local-region scoring --------------------------------------------------
+
+    def local_connections(
+        self, qubit: int
+    ) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int, int]]]:
+        """Connections through which ``qubit`` can collide with assigned qubits.
+
+        A connection qualifies when every member other than ``qubit``
+        already has a frequency — during the BFS walk ``qubit`` itself is
+        the one unassigned member; during refinement sweeps (``qubit``
+        re-optimized against the complete assignment) no member is.
+        """
+        want = 0 if qubit in self._assigned else 1
+        local_pairs = [
+            self.pairs[index]
+            for index in self._pair_incidence[qubit]
+            if self._pair_unassigned[index] == want
+        ]
+        local_triples = [
+            self.triples[index]
+            for index in self._triple_incidence[qubit]
+            if self._triple_unassigned[index] == want
+        ]
+        return local_pairs, local_triples
+
+    def noise_for(self, qubit: int, region_size: int) -> np.ndarray:
+        """The qubit's CRN fabrication-noise tensor (drawn once per size).
+
+        Seeded exactly as the pre-refactor allocator seeded its per-qubit
+        simulator, so a fresh draw and a cached reuse are bit-identical.
+        The region size participates in the key because numpy fills
+        ``(trials, size)`` tensors in C order: the same seed yields
+        different column contents for different sizes.
+        """
+        key = (qubit, region_size)
+        noise = self._noise_cache.get(key)
+        if noise is None:
+            rng = np.random.default_rng(
+                seed_for("freq-alloc", self.allocator.seed, qubit)
+            )
+            noise = rng.normal(
+                0.0,
+                self.allocator.sigma_ghz,
+                size=(self.allocator.local_trials, region_size),
+            )
+            self._noise_cache[key] = noise
+        return noise
+
+    def best_frequency(
+        self,
+        qubit: int,
+        frequencies: Dict[int, float],
+        candidate_indices: Optional[np.ndarray] = None,
+    ) -> float:
+        """The candidate maximizing the qubit's local-region Monte Carlo yield.
+
+        Args:
+            qubit: The qubit to place in the band.
+            frequencies: Current (partial or complete) assignment; the
+                qubit's own entry, if present, is ignored.
+            candidate_indices: Optional index subset of the candidate grid
+                to rank (used by pruning strategies); the documented
+                mid-band tie-break applies within the subset.
+        """
+        local_pairs, local_triples = self.local_connections(qubit)
+        if not local_pairs and not local_triples:
+            # Isolated qubit (no assigned neighbour yet): the middle of the
+            # band is as good as any other choice.
+            return middle_frequency()
+
+        region: Set[int] = {qubit}
+        for a, b in local_pairs:
+            region.update((a, b))
+        for j, i, k in local_triples:
+            region.update((j, i, k))
+        region_order = sorted(region)
+        index_of = {q: i for i, q in enumerate(region_order)}
+        qubit_index = index_of[qubit]
+        base = np.array([frequencies.get(q, 0.0) if q != qubit else 0.0
+                         for q in region_order])
+        pair_idx = np.array(
+            [(index_of[a], index_of[b]) for a, b in local_pairs], dtype=int
+        ).reshape(-1, 2)
+        triple_idx = np.array(
+            [(index_of[j], index_of[i], index_of[k]) for j, i, k in local_triples],
+            dtype=int,
+        ).reshape(-1, 3)
+
+        candidates = self.candidates
+        mid_distance = self._mid_distance
+        if candidate_indices is not None:
+            candidates = candidates[candidate_indices]
+            mid_distance = mid_distance[candidate_indices]
+
+        designed_batch = np.repeat(base[None, :], len(candidates), axis=0)
+        designed_batch[:, qubit_index] = candidates
+        failures = self._simulator.failure_counts(
+            designed_batch,
+            pair_idx,
+            triple_idx,
+            noise=self.noise_for(qubit, len(region_order)),
+        )
+
+        # Failure counts are integers, so the 1e-12 yield tolerance reduces
+        # to exact count equality; the tie set is ranked by mid-band
+        # distance, lower frequency first among equally distant candidates
+        # (tie indices ascend and argmin returns the first minimum).
+        tie_set = np.flatnonzero(failures == failures.min())
+        winner = tie_set[np.argmin(mid_distance[tie_set])]
+        return float(candidates[winner])
+
+
+class AllocationStrategy:
+    """Base class of pluggable Algorithm 3 search strategies.
+
+    A strategy receives the per-architecture :class:`_AllocationContext`
+    and returns the complete frequency assignment.  Implementations must
+    be deterministic functions of the context (the allocator's seed enters
+    through the context's noise cache).
+    """
+
+    name: str = ""
+
+    def assign(self, context: _AllocationContext) -> Dict[int, float]:
+        raise NotImplementedError
+
+    # -- shared skeleton -------------------------------------------------------
+
+    def _bfs_assign(
+        self,
+        context: _AllocationContext,
+        candidate_indices_for=None,
+    ) -> Tuple[Dict[int, float], List[int]]:
+        """The paper's centre-out BFS greedy walk; returns (assignment, order)."""
+        frequencies: Dict[int, float] = {context.center: middle_frequency()}
+        context.mark_assigned(context.center)
+        order = context.traversal_order()
+        for qubit in order:
+            if qubit in frequencies:
+                continue
+            subset = candidate_indices_for(context, qubit, frequencies) \
+                if candidate_indices_for is not None else None
+            frequencies[qubit] = context.best_frequency(
+                qubit, frequencies, candidate_indices=subset
+            )
+            context.mark_assigned(qubit)
+        return frequencies, order
+
+
+class BfsGreedyStrategy(AllocationStrategy):
+    """The paper-exact Algorithm 3: centre-out BFS over the full grid."""
+
+    name = "bfs-greedy"
+
+    def assign(self, context: _AllocationContext) -> Dict[int, float]:
+        frequencies, _order = self._bfs_assign(context)
+        return frequencies
+
+
+class CoordinateDescentStrategy(AllocationStrategy):
+    """BFS greedy plus coordinate-descent refinement sweeps.
+
+    Each sweep revisits every qubit in BFS order (the centre included —
+    its initial mid-band choice is only a heuristic starting point) and
+    re-optimizes its frequency against the now-complete assignment of its
+    local region.  The assignment is updated in place: a re-optimized
+    qubit keeps its current frequency in every later qubit's context, and
+    no per-qubit copy of the full assignment is ever made.
+    """
+
+    name = "coordinate-descent"
+
+    def assign(self, context: _AllocationContext) -> Dict[int, float]:
+        frequencies, order = self._bfs_assign(context)
+        passes = max(1, context.allocator.refinement_passes)
+        for _sweep in range(passes):
+            for qubit in order:
+                frequencies[qubit] = context.best_frequency(qubit, frequencies)
+        return frequencies
+
+
+class AnalyticGuidedStrategy(AllocationStrategy):
+    """BFS greedy over an analytically pruned candidate grid.
+
+    Before Monte Carlo ranking a qubit's candidates, the closed-form
+    pair-collision model of :mod:`repro.collision.analytic` scores every
+    candidate against the qubit's already-assigned neighbours; only the
+    ``prune_keep`` candidates with the smallest summed collision
+    probability survive.  Triple conditions are left to the Monte Carlo
+    stage — the pruning only needs to discard candidates sitting on an
+    obvious pair-collision centre.  Faster than the full-grid search and
+    typically within Monte Carlo noise of its yields, but **not**
+    bit-identical to the paper-exact strategy.
+    """
+
+    name = "analytic-guided"
+
+    #: Candidates surviving the analytic pruning, per qubit.
+    prune_keep = 12
+
+    def assign(self, context: _AllocationContext) -> Dict[int, float]:
+        frequencies, _order = self._bfs_assign(context, self._pruned_candidates)
+        return frequencies
+
+    def _pruned_candidates(
+        self,
+        context: _AllocationContext,
+        qubit: int,
+        frequencies: Dict[int, float],
+    ) -> Optional[np.ndarray]:
+        from repro.collision.analytic import pair_collision_probability
+
+        local_pairs, _local_triples = context.local_connections(qubit)
+        neighbor_freqs = [
+            frequencies[b if a == qubit else a]
+            for a, b in local_pairs
+            if qubit in (a, b)
+        ]
+        candidates = context.candidates
+        if not neighbor_freqs or len(candidates) <= self.prune_keep:
+            return None
+        allocator = context.allocator
+        badness = np.zeros(len(candidates))
+        for other in neighbor_freqs:
+            badness += np.array([
+                pair_collision_probability(
+                    float(candidate), other,
+                    allocator.sigma_ghz, allocator.delta_ghz, allocator.thresholds,
+                )
+                for candidate in candidates
+            ])
+        # Stable sort: equal badness resolves to the lower candidate index,
+        # keeping the pruned subset deterministic.
+        keep = np.sort(np.argsort(badness, kind="stable")[: self.prune_keep])
+        return keep
+
+
+#: Registry of the built-in strategies, by name.
+ALLOCATION_STRATEGIES: Dict[str, AllocationStrategy] = {
+    strategy.name: strategy
+    for strategy in (
+        BfsGreedyStrategy(),
+        CoordinateDescentStrategy(),
+        AnalyticGuidedStrategy(),
+    )
+}
+
+
+def resolve_strategy(
+    strategy: Union[str, AllocationStrategy], refinement_passes: int = 0
+) -> AllocationStrategy:
+    """Resolve a strategy name (or instance) to an :class:`AllocationStrategy`.
+
+    ``refinement_passes > 0`` upgrades the default ``bfs-greedy`` choice
+    to ``coordinate-descent``, preserving the pre-strategy behaviour of
+    the ``refinement_passes`` knob.
+    """
+    if isinstance(strategy, AllocationStrategy):
+        return strategy
+    name = str(strategy)
+    if name == BfsGreedyStrategy.name and refinement_passes > 0:
+        name = CoordinateDescentStrategy.name
+    try:
+        return ALLOCATION_STRATEGIES[name]
+    except KeyError:
+        known = ", ".join(sorted(ALLOCATION_STRATEGIES))
+        raise ValueError(
+            f"unknown allocation strategy {strategy!r} (known: {known})"
+        ) from None
 
 
 @dataclass
@@ -57,12 +475,12 @@ class FrequencyAllocator:
             qubit is common across candidates (common random numbers), so
             the argmax is not dominated by sampling noise.
         refinement_passes: Number of coordinate-descent sweeps run after
-            the centre-out BFS assignment.  Each sweep revisits every qubit
-            (in the same BFS order) and re-optimizes its frequency against
-            the now-complete assignment of its local region.  The default
-            of 0 reproduces the paper's Algorithm 3 exactly; the option
-            exists for the global-optimization ablation suggested in the
-            paper's Discussion section.
+            the centre-out BFS assignment.  The default of 0 reproduces
+            the paper's Algorithm 3 exactly; non-zero values select the
+            ``coordinate-descent`` strategy.
+        strategy: Allocation strategy name or instance (see
+            :data:`ALLOCATION_STRATEGIES`).  ``bfs-greedy`` is the
+            paper-exact default.
     """
 
     sigma_ghz: float = DEFAULT_SIGMA_GHZ
@@ -72,6 +490,7 @@ class FrequencyAllocator:
     thresholds: CollisionThresholds = DEFAULT_THRESHOLDS
     seed: int = 2020
     refinement_passes: int = 0
+    strategy: Union[str, AllocationStrategy] = BfsGreedyStrategy.name
 
     def allocate(self, architecture: Architecture) -> Dict[int, float]:
         """Assign a frequency to every qubit of ``architecture``.
@@ -81,144 +500,11 @@ class FrequencyAllocator:
         "the input of our algorithm is only the qubit location and
         connection generated from the previous two subroutines".
         """
-        qubits = architecture.qubits
-        if not qubits:
+        if not architecture.qubits:
             raise ValueError("architecture has no qubits")
-        neighbors = {q: architecture.neighbors(q) for q in qubits}
-        pairs = architecture.collision_pairs()
-        triples = architecture.collision_triples()
-        candidates = candidate_frequencies(self.frequency_step_ghz)
-
-        frequencies: Dict[int, float] = {}
-        center = architecture.lattice.central_qubit()
-        frequencies[center] = middle_frequency()
-
-        order = self._traversal_order(center, qubits, neighbors)
-        for qubit in order:
-            if qubit in frequencies:
-                continue
-            frequencies[qubit] = self._best_frequency(
-                qubit, frequencies, pairs, triples, candidates
-            )
-
-        # Optional coordinate-descent refinement: revisit every qubit with the
-        # full assignment known.  The first (centre) qubit is included too —
-        # its initial mid-band choice is only a heuristic starting point.
-        for _sweep in range(max(0, self.refinement_passes)):
-            for qubit in order:
-                context = {q: f for q, f in frequencies.items() if q != qubit}
-                frequencies[qubit] = self._best_frequency(
-                    qubit, context, pairs, triples, candidates
-                )
-        return frequencies
-
-    # -- traversal -------------------------------------------------------------
-
-    def _traversal_order(
-        self,
-        center: int,
-        qubits: Sequence[int],
-        neighbors: Dict[int, List[int]],
-    ) -> List[int]:
-        """Breadth-first order over the coupling graph starting at the centre qubit.
-
-        Qubits unreachable from the centre (possible only for degenerate
-        layouts) are appended afterwards in index order so every qubit gets
-        a frequency.
-        """
-        order: List[int] = []
-        visited: Set[int] = {center}
-        queue = deque([center])
-        while queue:
-            current = queue.popleft()
-            order.append(current)
-            for neighbor in neighbors[current]:
-                if neighbor not in visited:
-                    visited.add(neighbor)
-                    queue.append(neighbor)
-        for qubit in qubits:
-            if qubit not in visited:
-                order.append(qubit)
-        return order
-
-    # -- candidate evaluation ----------------------------------------------------
-
-    def _best_frequency(
-        self,
-        qubit: int,
-        assigned: Dict[int, float],
-        pairs: Sequence[Tuple[int, int]],
-        triples: Sequence[Tuple[int, int, int]],
-        candidates: np.ndarray,
-    ) -> float:
-        """The candidate frequency maximizing the local-region yield for ``qubit``."""
-        local_pairs, local_triples, region = self._local_region(qubit, assigned, pairs, triples)
-        if not local_pairs and not local_triples:
-            # Isolated qubit (no assigned neighbour yet): the middle of the band
-            # is as good as any other choice.
-            return middle_frequency()
-
-        region_order = sorted(region)
-        index_of = {q: i for i, q in enumerate(region_order)}
-        qubit_index = index_of[qubit]
-        base = np.array([assigned.get(q, 0.0) for q in region_order])
-        local_pair_idx = tuple((index_of[a], index_of[b]) for a, b in local_pairs)
-        local_triple_idx = tuple(
-            (index_of[j], index_of[i], index_of[k]) for j, i, k in local_triples
-        )
-
-        # Common random numbers: the batched simulator evaluates every
-        # candidate against the same fabrication noise tensor, so the argmax
-        # reflects the designed frequencies, not the particular noise draw.
-        simulator = YieldSimulator(
-            trials=self.local_trials,
-            sigma_ghz=self.sigma_ghz,
-            delta_ghz=self.delta_ghz,
-            thresholds=self.thresholds,
-            seed=seed_for("freq-alloc", self.seed, qubit),
-        )
-        designed_batch = np.repeat(base[None, :], len(candidates), axis=0)
-        designed_batch[:, qubit_index] = candidates
-        estimates = simulator.estimate_batch(designed_batch, local_pair_idx, local_triple_idx)
-
-        best_candidate = float(candidates[0])
-        best_yield = -1.0
-        for candidate, estimate in zip(candidates, estimates):
-            if estimate.yield_rate > best_yield + 1e-12:
-                best_yield = estimate.yield_rate
-                best_candidate = float(candidate)
-        return best_candidate
-
-    def _local_region(
-        self,
-        qubit: int,
-        assigned: Dict[int, float],
-        pairs: Sequence[Tuple[int, int]],
-        triples: Sequence[Tuple[int, int, int]],
-    ) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int, int]], Set[int]]:
-        """Pairs/triples involving ``qubit`` whose other members are already assigned.
-
-        This is the "local region" of Algorithm 3: only connections through
-        which the new qubit can collide, restricted to qubits whose
-        frequencies are already fixed.
-        """
-        known = set(assigned) | {qubit}
-        local_pairs = [
-            (a, b)
-            for a, b in pairs
-            if qubit in (a, b) and a in known and b in known
-        ]
-        local_triples = [
-            (j, i, k)
-            for j, i, k in triples
-            if qubit in (j, i, k) and j in known and i in known and k in known
-        ]
-        region: Set[int] = {qubit}
-        for a, b in local_pairs:
-            region.update((a, b))
-        for j, i, k in local_triples:
-            region.update((j, i, k))
-        return local_pairs, local_triples, region
+        context = _AllocationContext(self, architecture)
+        strategy = resolve_strategy(self.strategy, self.refinement_passes)
+        return strategy.assign(context)
 
 
 def allocate_frequencies(
@@ -227,6 +513,7 @@ def allocate_frequencies(
     local_trials: int = 2000,
     seed: int = 2020,
     refinement_passes: int = 0,
+    strategy: Union[str, AllocationStrategy] = BfsGreedyStrategy.name,
 ) -> Dict[int, float]:
     """One-call convenience wrapper around :class:`FrequencyAllocator`."""
     allocator = FrequencyAllocator(
@@ -234,5 +521,6 @@ def allocate_frequencies(
         local_trials=local_trials,
         seed=seed,
         refinement_passes=refinement_passes,
+        strategy=strategy,
     )
     return allocator.allocate(architecture)

@@ -26,6 +26,7 @@ import enum
 from typing import Dict, List, Optional, Sequence
 
 from repro.circuit.circuit import QuantumCircuit
+from repro.design.engine import DesignEngine
 from repro.design.flow import BusStrategy, DesignFlow, DesignOptions, FrequencyStrategy
 from repro.hardware.architecture import Architecture
 from repro.hardware.frequency import five_frequency_scheme
@@ -52,6 +53,7 @@ def architectures_for_config(
     config: ExperimentConfig,
     random_bus_seeds: Sequence[int] = (1, 2, 3, 4, 5),
     frequency_local_trials: int = 2000,
+    engine: Optional[DesignEngine] = None,
 ) -> List[Architecture]:
     """Generate every architecture evaluated under ``config`` for ``circuit``.
 
@@ -63,58 +65,69 @@ def architectures_for_config(
             of Section 5.4.2.
         frequency_local_trials: Monte Carlo trials per candidate frequency in
             Algorithm 3 (applies to the configurations that use it).
+        engine: Optional shared :class:`DesignEngine`.  All configurations
+            of a benchmark share the profile and layout stages, and
+            random-bus seeds that agree on their selected squares share
+            one frequency allocation; results are identical with or
+            without sharing.
     """
+    engine = engine if engine is not None else DesignEngine()
     if config is ExperimentConfig.IBM:
         return [arch for _index, arch in sorted(ibm_baselines().items())]
 
     if config is ExperimentConfig.EFF_FULL:
         options = DesignOptions(local_trials=frequency_local_trials)
-        return DesignFlow(circuit, options).design_series()
+        return DesignFlow(circuit, options, engine=engine).design_series()
 
     if config is ExperimentConfig.EFF_5_FREQ:
         options = DesignOptions(
             frequency_strategy=FrequencyStrategy.FIVE_FREQUENCY,
             local_trials=frequency_local_trials,
         )
-        return DesignFlow(circuit, options).design_series()
+        return DesignFlow(circuit, options, engine=engine).design_series()
 
     if config is ExperimentConfig.EFF_RD_BUS:
         architectures: List[Architecture] = []
-        max_buses = DesignFlow(circuit).max_four_qubit_buses()
+        max_buses = engine.max_four_qubit_buses(circuit)
         for seed in random_bus_seeds:
             options = DesignOptions(
                 bus_strategy=BusStrategy.RANDOM,
                 random_bus_seed=seed,
                 local_trials=frequency_local_trials,
             )
-            flow = DesignFlow(circuit, options)
+            flow = DesignFlow(circuit, options, engine=engine)
             previous_bus_count = -1
             for num_buses in range(1, max_buses + 1):
-                arch = flow.design(num_buses)
-                actual = len(arch.four_qubit_buses())
+                actual = engine.realized_bus_count(circuit, num_buses, options)
                 if actual == previous_bus_count:
                     # The random selection ran out of non-conflicting squares;
-                    # larger requests only duplicate the previous design.
+                    # larger requests only duplicate the previous design —
+                    # skipped before frequency allocation runs.
                     continue
                 previous_bus_count = actual
+                arch = flow.design(num_buses)
                 arch.name = f"{arch.name}_seed{seed}"
                 architectures.append(arch)
         return architectures
 
     if config is ExperimentConfig.EFF_LAYOUT_ONLY:
-        return _layout_only_architectures(circuit)
+        return _layout_only_architectures(circuit, engine)
 
     raise ValueError(f"unknown configuration {config!r}")
 
 
-def _layout_only_architectures(circuit: QuantumCircuit) -> List[Architecture]:
+def _layout_only_architectures(
+    circuit: QuantumCircuit, engine: DesignEngine
+) -> List[Architecture]:
     """The two ``eff-layout-only`` designs: 2-qubit buses only, and max 4-qubit buses.
 
     Both use IBM's 5-frequency scheme so that the comparison against the
     ``ibm`` baseline isolates the effect of the layout subroutine alone.
     """
     flow = DesignFlow(
-        circuit, DesignOptions(frequency_strategy=FrequencyStrategy.FIVE_FREQUENCY)
+        circuit,
+        DesignOptions(frequency_strategy=FrequencyStrategy.FIVE_FREQUENCY),
+        engine=engine,
     )
     minimal = flow.design(0, name=f"layout_only_{circuit.name}_2qbus")
     maximal = flow.design(

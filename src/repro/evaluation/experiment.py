@@ -19,13 +19,14 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.collision.yield_simulator import YieldSimulator
+from repro.design.engine import DesignEngine
 from repro.evaluation.configs import ExperimentConfig, architectures_for_config
 from repro.hardware.architecture import Architecture
 from repro.hardware.frequency import DEFAULT_SIGMA_GHZ
 from repro.mapping.engine import RoutingEngine
 from repro.mapping.router import route_circuit
 from repro.mapping.sabre import SabreParameters
-from repro.profiling.profiler import CircuitProfile, profile_circuit
+from repro.profiling.profiler import CircuitProfile
 
 #: Configurations evaluated by default (all five, as in Figure 10).
 DEFAULT_CONFIGS = (
@@ -52,6 +53,10 @@ class EvaluationSettings:
             (disabled by default to keep sweeps light).
         routing: Router tuning parameters shared by every evaluation point
             (bidirectional passes, seeded restarts, look-ahead window).
+        routing_cache_path: Optional path to a persisted routing-result
+            cache (see :meth:`~repro.mapping.engine.RoutingCache.load`):
+            evaluation engines warm-load it, so repeated sweeps reuse
+            routing results across processes.  Missing files are ignored.
     """
 
     yield_trials: int = 10_000
@@ -61,6 +66,7 @@ class EvaluationSettings:
     random_bus_seeds: Sequence[int] = (1, 2, 3, 4, 5)
     keep_routed_circuits: bool = False
     routing: SabreParameters = SabreParameters()
+    routing_cache_path: Optional[str] = None
 
 
 @dataclass
@@ -119,6 +125,7 @@ def evaluate_benchmark(
     configs: Iterable[ExperimentConfig] = DEFAULT_CONFIGS,
     settings: Optional[EvaluationSettings] = None,
     engine: Optional[RoutingEngine] = None,
+    design_engine: Optional[DesignEngine] = None,
 ) -> ExperimentResult:
     """Evaluate one benchmark across the requested configurations.
 
@@ -131,14 +138,24 @@ def evaluate_benchmark(
             callers pass one so baseline architectures shared across
             benchmarks keep their routers and distance matrices.  Must be
             configured with ``settings.routing``.
+        design_engine: Optional shared :class:`DesignEngine`; the
+            benchmark's configurations share its profile/layout/selection
+            stages and its memoized frequency allocations (results are
+            identical with or without one).
     """
     settings = settings or EvaluationSettings()
-    profile = profile_circuit(circuit)
     simulator = YieldSimulator(
         trials=settings.yield_trials, sigma_ghz=settings.sigma_ghz, seed=settings.yield_seed
     )
     if engine is None:
         engine = RoutingEngine(settings.routing)
+        if settings.routing_cache_path:
+            engine.cache.load(settings.routing_cache_path, missing_ok=True)
+    if design_engine is None:
+        design_engine = DesignEngine()
+    # The design engine's profile stage serves both the architecture
+    # generation below and the router's initial placement.
+    profile = design_engine.profile(circuit)
     result = ExperimentResult(benchmark=circuit.name)
     for config in configs:
         for architecture in architectures_for_config(
@@ -146,6 +163,7 @@ def evaluate_benchmark(
             config,
             random_bus_seeds=settings.random_bus_seeds,
             frequency_local_trials=settings.frequency_local_trials,
+            engine=design_engine,
         ):
             if architecture.num_qubits < circuit.num_qubits:
                 continue
@@ -164,13 +182,19 @@ def evaluate_suite(
 ) -> Dict[str, ExperimentResult]:
     """Evaluate several benchmarks (the full Figure 10 grid by default).
 
-    One routing engine serves the whole suite, so baseline architectures
-    shared across benchmarks keep their routers and distance matrices.
+    One routing engine and one design engine serve the whole suite, so
+    baseline architectures shared across benchmarks keep their routers
+    and distance matrices, and design stages shared across circuits are
+    computed once.
     """
     settings = settings or EvaluationSettings()
     engine = RoutingEngine(settings.routing)
+    if settings.routing_cache_path:
+        engine.cache.load(settings.routing_cache_path, missing_ok=True)
+    design_engine = DesignEngine()
     return {
-        name: evaluate_benchmark(circuit, configs, settings, engine=engine)
+        name: evaluate_benchmark(circuit, configs, settings, engine=engine,
+                                 design_engine=design_engine)
         for name, circuit in circuits.items()
     }
 

@@ -28,6 +28,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.benchmarks.library import get_benchmark
 from repro.collision.yield_simulator import YieldSimulator
+from repro.design.engine import DesignEngine
 from repro.evaluation.configs import ExperimentConfig, architectures_for_config
 from repro.evaluation.experiment import (
     DEFAULT_CONFIGS,
@@ -78,19 +79,54 @@ def sweep_point_seed(base_seed: int, benchmark: str, config_value: str, arch_ind
 # circuits/profiles locally to keep the pickled payload small.
 # ---------------------------------------------------------------------------
 
-#: Process-local routing engines, one per parameter set.  Routing is a pure
-#: deterministic function of (circuit, architecture, parameters), so reusing
-#: distance matrices and memoized results inside a worker can never change a
-#: sweep value — ``--jobs N`` stays byte-identical for any N regardless of
-#: which points land in which process.
-_WORKER_ENGINES: Dict[SabreParameters, RoutingEngine] = {}
+#: Process-local routing engines, one per (parameter set, cache file).
+#: Routing is a pure deterministic function of (circuit, architecture,
+#: parameters), so reusing distance matrices and memoized results inside a
+#: worker can never change a sweep value — ``--jobs N`` stays byte-identical
+#: for any N regardless of which points land in which process.
+_WORKER_ENGINES: Dict[Tuple[SabreParameters, Optional[str]], RoutingEngine] = {}
+
+#: Process-local design engine shared by every generation task.  Design is
+#: a pure deterministic function of (circuit, configuration), so stage
+#: cache hits can never change which architectures a sweep enumerates.
+_WORKER_DESIGN_ENGINE: List[DesignEngine] = []
 
 
-def _worker_engine(parameters: SabreParameters) -> RoutingEngine:
-    engine = _WORKER_ENGINES.get(parameters)
+def _worker_engine(settings: EvaluationSettings) -> RoutingEngine:
+    key = (settings.routing, settings.routing_cache_path)
+    engine = _WORKER_ENGINES.get(key)
     if engine is None:
-        engine = _WORKER_ENGINES.setdefault(parameters, RoutingEngine(parameters))
+        engine = _WORKER_ENGINES.setdefault(key, RoutingEngine(settings.routing))
+        if settings.routing_cache_path:
+            # Warm-load persisted results: this is how sweeps reuse routing
+            # work across worker processes and across invocations.
+            engine.cache.load(settings.routing_cache_path, missing_ok=True)
     return engine
+
+
+def _worker_design_engine() -> DesignEngine:
+    if not _WORKER_DESIGN_ENGINE:
+        _WORKER_DESIGN_ENGINE.append(DesignEngine())
+    return _WORKER_DESIGN_ENGINE[0]
+
+
+def save_worker_routing_cache(settings: EvaluationSettings) -> Optional[int]:
+    """Persist this process's routing results to ``settings.routing_cache_path``.
+
+    Returns the number of entries written, or None when the settings name
+    no cache file or this process routed nothing (multi-process sweeps
+    route in their workers; only in-process runs accumulate results
+    here).  Existing file entries are merged before writing, so a save
+    only drops entries the cache's LRU bound evicts — never the whole
+    previous file.
+    """
+    if not settings.routing_cache_path:
+        return None
+    engine = _WORKER_ENGINES.get((settings.routing, settings.routing_cache_path))
+    if engine is None:
+        return None
+    engine.cache.load(settings.routing_cache_path, missing_ok=True)
+    return engine.cache.save(settings.routing_cache_path)
 
 
 def _generate_task(
@@ -104,6 +140,7 @@ def _generate_task(
         config,
         random_bus_seeds=settings.random_bus_seeds,
         frequency_local_trials=settings.frequency_local_trials,
+        engine=_worker_design_engine(),
     )
     return [
         (benchmark, config_value, index, architecture)
@@ -125,7 +162,7 @@ def _evaluate_task(
     )
     return evaluate_point(
         circuit, profile, architecture, ExperimentConfig(config_value), simulator, settings,
-        engine=_worker_engine(settings.routing),
+        engine=_worker_engine(settings),
     )
 
 

@@ -21,9 +21,12 @@ hits and misses distribute across processes.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.hardware.architecture import Architecture
@@ -62,10 +65,13 @@ class _CacheEntry:
     ``gates`` guards against 64-bit content-hash collisions in the cache
     key: a hit is only served after confirming the stored tuple matches
     the requesting circuit's (identity check first — free for the common
-    same-circuit-object case — full comparison otherwise).
+    same-circuit-object case — full comparison otherwise).  Entries
+    restored from a persisted cache carry ``gates=None`` — the gate
+    tuples are not written to disk, so loaded hits trust the content
+    digest in the key (see :meth:`RoutingCache.save`).
     """
 
-    gates: Tuple
+    gates: Optional[Tuple]
     result: object
 
 
@@ -135,6 +141,99 @@ class RoutingCache:
 
     def stats(self) -> Dict[str, int]:
         return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Persist the memoized routings to a counts-only JSON file.
+
+        Only the mapping *results* are written — swap counts, gate
+        counts, and the initial/final mappings — never routed circuits or
+        gate tuples, so the file stays small and sweep-scale caches
+        persist in milliseconds.  Returns the number of entries written.
+
+        The file is an image of the in-memory cache, so it holds at most
+        ``max_entries`` results; writers wanting to extend an existing
+        file rather than replace it should :meth:`load` it first (cached
+        entries win over file entries, and anything beyond the bound
+        falls out least-recently-used).
+
+        Because the gate tuples are not persisted, results served from a
+        loaded cache are trusted on the 64-bit circuit content digest in
+        the key alone (the in-memory collision guard cannot re-confirm
+        them).  A digest collision between two same-length, same-name,
+        same-width circuits is the only way a loaded entry can be wrong.
+        """
+        from repro.mapping.router import MappingResult  # noqa: F401  (documented shape)
+
+        entries = []
+        for key, entry in self._entries.items():
+            circuit_key, arch_key, parameters, profile_key = key
+            result = entry.result
+            entries.append({
+                "circuit_key": list(circuit_key),
+                "architecture_key": _listify(arch_key),
+                "parameters": _parameters_to_dict(parameters),
+                "profile_key": profile_key,
+                "result": {
+                    "circuit_name": result.circuit_name,
+                    "architecture_name": result.architecture_name,
+                    "original_gates": result.original_gates,
+                    "original_two_qubit_gates": result.original_two_qubit_gates,
+                    "num_swaps": result.num_swaps,
+                    "initial_mapping": {str(k): v for k, v in result.initial_mapping.items()},
+                    "final_mapping": {str(k): v for k, v in result.final_mapping.items()},
+                },
+            })
+        payload = {"format": "repro-routing-cache", "version": 1, "entries": entries}
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
+        return len(entries)
+
+    def load(self, path: Union[str, Path], missing_ok: bool = False) -> int:
+        """Merge a persisted cache file into this cache.
+
+        Loaded entries are counts-only (no routed circuit): route calls
+        with ``keep_routed_circuit=True`` still recompute and upgrade
+        them.  Existing in-memory entries win over file entries under the
+        same key.  Returns the number of entries merged; ``missing_ok``
+        turns a nonexistent file into a no-op returning 0.
+        """
+        from repro.mapping.router import MappingResult
+
+        path = Path(path)
+        if not path.exists():
+            if missing_ok:
+                return 0
+            raise FileNotFoundError(f"routing cache file not found: {path}")
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("format") != "repro-routing-cache":
+            raise ValueError(f"{path} is not a routing cache file")
+        loaded = 0
+        for record in payload["entries"]:
+            key = (
+                tuple(record["circuit_key"]),
+                _tuplify(record["architecture_key"]),
+                _parameters_from_dict(record["parameters"]),
+                record["profile_key"],
+            )
+            if key in self._entries:
+                continue
+            data = record["result"]
+            result = MappingResult(
+                circuit_name=data["circuit_name"],
+                architecture_name=data["architecture_name"],
+                original_gates=data["original_gates"],
+                original_two_qubit_gates=data["original_two_qubit_gates"],
+                num_swaps=data["num_swaps"],
+                initial_mapping={int(k): v for k, v in data["initial_mapping"].items()},
+                final_mapping={int(k): v for k, v in data["final_mapping"].items()},
+                routed_circuit=None,
+            )
+            self.put(key, _CacheEntry(gates=None, result=result))
+            loaded += 1
+        return loaded
 
 
 class RoutingEngine:
@@ -247,19 +346,26 @@ class RoutingEngine:
         # profile participates in the key by content digest over every field
         # the placement reads (strengths, degree order, coupling edges): a
         # profile that slips past the cheap guard above can only ever poison
-        # (or hit) its own entry, never the profile-less one.
+        # (or hit) its own entry, never the profile-less one.  SHA-256
+        # rather than the salted built-in hash(), so the key survives a
+        # save/load round trip into another process.
         profile_key = None
         if profile is not None:
-            profile_key = hash((
-                profile.strength_matrix.tobytes(),
-                tuple(profile.degree_list),
-                tuple(sorted(tuple(sorted(edge)) for edge in profile.graph.edges())),
-            ))
+            digest = hashlib.sha256()
+            digest.update(profile.strength_matrix.tobytes())
+            digest.update(str(tuple(profile.degree_list)).encode())
+            digest.update(str(
+                tuple(sorted(tuple(sorted(edge)) for edge in profile.graph.edges()))
+            ).encode())
+            profile_key = int.from_bytes(digest.digest()[:8], "big")
         key = (circuit_key, architecture_cache_key(architecture), self.parameters, profile_key)
         gates = circuit.gates
 
         def sufficient(entry) -> bool:
-            if entry.gates is not gates and entry.gates != gates:
+            # entry.gates is None for entries restored from a persisted
+            # cache (digest-trusted); in-memory entries carry the exact
+            # tuple and are confirmed against the requesting circuit.
+            if entry.gates is not None and entry.gates is not gates and entry.gates != gates:
                 return False  # content-hash collision; recompute under this key
             return entry.result.routed_circuit is not None or not keep_routed_circuit
 
@@ -292,6 +398,30 @@ class RoutingEngine:
         )
         self.cache.put(key, _CacheEntry(gates=gates, result=result))
         return _result_copy(result, keep_routed_circuit)
+
+
+def _listify(value):
+    """Tuples to lists, recursively (JSON encoding of cache keys)."""
+    if isinstance(value, tuple):
+        return [_listify(item) for item in value]
+    return value
+
+
+def _tuplify(value):
+    """Lists to tuples, recursively (JSON decoding of cache keys)."""
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
+def _parameters_to_dict(parameters: SabreParameters) -> Dict:
+    from dataclasses import asdict
+
+    return asdict(parameters)
+
+
+def _parameters_from_dict(data: Dict) -> SabreParameters:
+    return SabreParameters(**data)
 
 
 def _result_copy(result, keep_routed_circuit: bool):

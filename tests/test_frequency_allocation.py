@@ -3,7 +3,12 @@
 import pytest
 
 from repro.collision import YieldSimulator
-from repro.design import FrequencyAllocator, allocate_frequencies
+from repro.design import (
+    ALLOCATION_STRATEGIES,
+    FrequencyAllocator,
+    allocate_frequencies,
+    resolve_strategy,
+)
 from repro.hardware import Architecture, Lattice
 from repro.hardware.frequency import (
     ALLOWED_FREQUENCY_MAX_GHZ,
@@ -111,3 +116,104 @@ class TestAllocationQuality:
             steps = (value - ALLOWED_FREQUENCY_MIN_GHZ) / fast_allocator.frequency_step_ghz
             assert abs(steps - round(steps)) < 1e-6
             assert ALLOWED_FREQUENCY_MIN_GHZ <= value <= ALLOWED_FREQUENCY_MAX_GHZ
+
+
+class TestGoldenAssignment:
+    def test_default_mode_assignment_is_pinned(self):
+        """Regression pin of the paper-default Algorithm 3 assignment.
+
+        The exact frequencies of ``sym6_145``'s 1-bus design under the
+        default configuration (2000 local trials, seed 2020, bfs-greedy).
+        Any change to the allocator's machinery, seeding, traversal, or
+        tie-break shows up here as a bit-exact mismatch.
+        """
+        from repro.benchmarks import get_benchmark
+        from repro.design import DesignFlow
+
+        architecture = DesignFlow(get_benchmark("sym6_145")).design(1)
+        assert architecture.frequencies == {
+            0: 5.28, 1: 5.34, 2: 5.24, 3: 5.10, 4: 5.08, 5: 5.16, 6: 5.17,
+        }
+
+
+class TestTieBreak:
+    """The documented candidate tie-break: mid-band first, then lower frequency.
+
+    With ``sigma = 0`` the local simulation is deterministic, so every
+    non-colliding candidate survives all trials and the tie set is large —
+    the selection is decided purely by the tie-break rule.
+    """
+
+    def test_tied_candidates_resolve_toward_mid_band(self):
+        arch = chain_architecture(2)
+        frequencies = FrequencyAllocator(sigma_ghz=0.0, local_trials=10).allocate(arch)
+        center = arch.lattice.central_qubit()
+        other = (set(arch.qubits) - {center}).pop()
+        assert frequencies[center] == pytest.approx(middle_frequency())
+        # Candidates within 0.017 GHz of the centre's 5.17 GHz collide
+        # (condition 1); 5.15 and 5.19 are the nearest non-colliding
+        # candidates, equally far from mid-band — the lower one wins.
+        assert frequencies[other] == pytest.approx(5.15)
+
+    def test_tie_break_is_deterministic(self):
+        arch = grid_architecture(2, 3)
+        allocator = FrequencyAllocator(sigma_ghz=0.0, local_trials=10)
+        assert allocator.allocate(arch) == allocator.allocate(arch)
+
+
+class TestStrategies:
+    def test_known_strategies_registered(self):
+        assert set(ALLOCATION_STRATEGIES) == {
+            "bfs-greedy", "coordinate-descent", "analytic-guided",
+        }
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError, match="unknown allocation strategy"):
+            FrequencyAllocator(strategy="simulated-annealing").allocate(
+                chain_architecture(3)
+            )
+
+    def test_refinement_passes_select_coordinate_descent(self):
+        resolved = resolve_strategy("bfs-greedy", refinement_passes=2)
+        assert resolved.name == "coordinate-descent"
+        assert resolve_strategy("bfs-greedy", refinement_passes=0).name == "bfs-greedy"
+
+    def test_coordinate_descent_matches_refinement_knob(self):
+        arch = grid_architecture(2, 3)
+        via_strategy = FrequencyAllocator(
+            local_trials=400, seed=11, strategy="coordinate-descent"
+        ).allocate(arch)
+        via_knob = FrequencyAllocator(
+            local_trials=400, seed=11, refinement_passes=1
+        ).allocate(arch)
+        assert via_strategy == via_knob
+
+    def test_analytic_guided_is_deterministic_and_in_band(self):
+        arch = grid_architecture(2, 4)
+        allocator = FrequencyAllocator(local_trials=400, seed=11,
+                                       strategy="analytic-guided")
+        frequencies = allocator.allocate(arch)
+        assert validate_frequencies(frequencies) == []
+        assert frequencies == allocator.allocate(arch)
+
+    def test_analytic_guided_separates_connected_qubits(self):
+        arch = chain_architecture(6)
+        frequencies = FrequencyAllocator(
+            local_trials=400, seed=11, strategy="analytic-guided"
+        ).allocate(arch)
+        for a, b in arch.coupling_edges():
+            assert abs(frequencies[a] - frequencies[b]) > 0.017
+
+    def test_analytic_guided_yield_close_to_exact_search(self):
+        arch = grid_architecture(2, 3)
+        exact = arch.with_frequencies(
+            FrequencyAllocator(local_trials=1500, seed=3).allocate(arch)
+        )
+        pruned = arch.with_frequencies(
+            FrequencyAllocator(local_trials=1500, seed=3,
+                               strategy="analytic-guided").allocate(arch)
+        )
+        simulator = YieldSimulator(trials=4000, seed=23)
+        exact_yield = simulator.estimate(exact).yield_rate
+        pruned_yield = simulator.estimate(pruned).yield_rate
+        assert pruned_yield >= exact_yield - 0.05

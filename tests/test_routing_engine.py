@@ -209,3 +209,90 @@ class TestRoutingEngine:
         circuit = QuantumCircuit(2).extend([cx(0, 1)])
         with pytest.raises(ValueError):
             RoutingEngine().route(circuit, disconnected)
+
+
+class TestCachePersistence:
+    """RoutingCache.save/load: counts-only JSON reuse across processes."""
+
+    def test_round_trip_serves_counts_from_disk(self, tmp_path):
+        circuit = small_circuit()
+        arch = ibm_16q_2x8()
+        producer = RoutingEngine()
+        original = producer.route(circuit, arch, keep_routed_circuit=False)
+        path = tmp_path / "routing_cache.json"
+        assert producer.cache.save(path) == 1
+
+        consumer = RoutingEngine()
+        assert consumer.cache.load(path) == 1
+        replayed = consumer.route(circuit, arch, keep_routed_circuit=False)
+        assert replayed.num_swaps == original.num_swaps
+        assert replayed.initial_mapping == original.initial_mapping
+        assert replayed.final_mapping == original.final_mapping
+        assert consumer.cache.stats()["hits"] == 1
+        assert consumer.cache.stats()["misses"] == 0
+
+    def test_full_circuit_request_recomputes_counts_only_entry(self, tmp_path):
+        circuit = small_circuit()
+        arch = ibm_16q_2x8()
+        producer = RoutingEngine()
+        producer.route(circuit, arch, keep_routed_circuit=False)
+        path = tmp_path / "routing_cache.json"
+        producer.cache.save(path)
+
+        consumer = RoutingEngine()
+        consumer.cache.load(path)
+        full = consumer.route(circuit, arch, keep_routed_circuit=True)
+        assert full.routed_circuit is not None
+
+    def test_load_merges_without_displacing_existing_entries(self, tmp_path):
+        circuit = small_circuit()
+        arch = ibm_16q_2x8()
+        producer = RoutingEngine()
+        producer.route(circuit, arch, keep_routed_circuit=False)
+        path = tmp_path / "routing_cache.json"
+        producer.cache.save(path)
+
+        consumer = RoutingEngine()
+        consumer.route(circuit, arch, keep_routed_circuit=True)
+        assert consumer.cache.load(path) == 0  # in-memory entry wins
+        kept = consumer.route(circuit, arch, keep_routed_circuit=True)
+        assert kept.routed_circuit is not None
+
+    def test_missing_file_handling(self, tmp_path):
+        cache = RoutingCache()
+        missing = tmp_path / "nope.json"
+        assert cache.load(missing, missing_ok=True) == 0
+        with pytest.raises(FileNotFoundError):
+            cache.load(missing)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else", "entries": []}')
+        with pytest.raises(ValueError, match="not a routing cache"):
+            RoutingCache().load(path)
+
+    def test_parameters_round_trip_in_keys(self, tmp_path):
+        """Entries persisted under tuned parameters only serve matching engines."""
+        circuit = small_circuit()
+        arch = ibm_16q_2x8()
+        tuned = SabreParameters(passes=3)
+        producer = RoutingEngine(tuned)
+        producer.route(circuit, arch, keep_routed_circuit=False)
+        path = tmp_path / "routing_cache.json"
+        producer.cache.save(path)
+
+        default_engine = RoutingEngine()
+        default_engine.cache.load(path)
+        default_engine.route(circuit, arch, keep_routed_circuit=False)
+        assert default_engine.cache.stats()["hits"] == 0
+
+        tuned_engine = RoutingEngine(tuned)
+        tuned_engine.cache.load(path)
+        tuned_engine.route(circuit, arch, keep_routed_circuit=False)
+        assert tuned_engine.cache.stats()["hits"] == 1
+
+    def test_content_digest_is_process_stable(self):
+        """Persisted keys embed the circuit digest, so it must not depend on
+        Python's per-process hash salt; the pinned value catches any
+        regression back to the salted built-in hash()."""
+        assert small_circuit().content_hash() == 1918906499985999522

@@ -104,3 +104,43 @@ class TestSweepStructure:
         assert point_fingerprint(results["sym6_145"]) == point_fingerprint(
             reference["sym6_145"]
         )
+
+
+class TestRoutingCachePersistence:
+    def test_in_process_sweep_persists_and_reuses_routing_results(self, tmp_path):
+        from repro.evaluation.parallel import save_worker_routing_cache
+
+        path = tmp_path / "routing_cache.json"
+        settings = EvaluationSettings(
+            yield_trials=300,
+            frequency_local_trials=80,
+            random_bus_seeds=(1,),
+            routing_cache_path=str(path),
+        )
+        first = run_sweep(["sym6_145"], jobs=1, settings=settings,
+                          configs=FAST_CONFIGS)
+        written = save_worker_routing_cache(settings)
+        assert written and path.exists()
+
+        # A later invocation warm-loads the persisted results and produces
+        # byte-identical output.
+        second = run_sweep(["sym6_145"], jobs=1, settings=settings,
+                           configs=FAST_CONFIGS)
+        assert point_fingerprint(first["sym6_145"]) == point_fingerprint(
+            second["sym6_145"]
+        )
+
+    def test_cache_path_does_not_change_results(self, tmp_path):
+        cached_settings = EvaluationSettings(
+            yield_trials=300,
+            frequency_local_trials=80,
+            random_bus_seeds=(1,),
+            routing_cache_path=str(tmp_path / "cache.json"),
+        )
+        plain = run_sweep(["sym6_145"], jobs=1, settings=FAST_SETTINGS,
+                          configs=FAST_CONFIGS)
+        cached = run_sweep(["sym6_145"], jobs=1, settings=cached_settings,
+                           configs=FAST_CONFIGS)
+        assert point_fingerprint(plain["sym6_145"]) == point_fingerprint(
+            cached["sym6_145"]
+        )
