@@ -60,11 +60,7 @@ def build_parser() -> argparse.ArgumentParser:
     design_parser.add_argument(
         "--trials", type=int, default=10_000, help="Monte Carlo trials for yield estimation"
     )
-    design_parser.add_argument(
-        "--alloc-strategy", default="bfs-greedy",
-        choices=sorted(ALLOCATION_STRATEGIES),
-        help="Algorithm 3 search strategy (default: the paper-exact bfs-greedy)",
-    )
+    _add_allocation_strategy_argument(design_parser)
 
     evaluate_parser = subparsers.add_parser(
         "evaluate", help="run the Figure 10 experiment for benchmarks"
@@ -75,6 +71,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true", help="also print an ASCII Pareto scatter plot"
     )
     _add_router_arguments(evaluate_parser)
+    _add_design_arguments(evaluate_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -95,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--plot", action="store_true", help="also print an ASCII Pareto scatter plot"
     )
     _add_router_arguments(sweep_parser)
+    _add_design_arguments(sweep_parser)
     return parser
 
 
@@ -119,12 +117,58 @@ def _add_router_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_allocation_strategy_argument(target) -> None:
+    """The Algorithm 3 strategy flag, defined once for every subcommand.
+
+    ``--allocation-strategy`` is canonical; ``--alloc-strategy`` is kept
+    as a compatible alias.  On ``evaluate``/``sweep`` the chosen strategy
+    applies to the eff-full / eff-rd-bus configurations and stays
+    byte-identical for any ``--jobs`` count.
+    """
+    target.add_argument(
+        "--allocation-strategy", "--alloc-strategy", dest="allocation_strategy",
+        default="bfs-greedy",
+        choices=sorted(ALLOCATION_STRATEGIES),
+        help="Algorithm 3 search strategy (default: the paper-exact bfs-greedy)",
+    )
+
+
+def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
+    """Design-engine knobs shared by ``evaluate`` and ``sweep``."""
+    group = parser.add_argument_group("design engine")
+    _add_allocation_strategy_argument(group)
+    group.add_argument(
+        "--design-cache", default=None, metavar="PATH",
+        help="persisted design-stage cache (counts-only JSON of Algorithm 3 "
+             "frequency plans): loaded before designing — by every worker, "
+             "for sweeps — and merged back afterwards, so a warm session "
+             "re-derives its architectures without any frequency search",
+    )
+    group.add_argument(
+        "--local-trials", type=int, default=2000, metavar="N",
+        help="Monte Carlo trials per candidate frequency inside Algorithm 3 "
+             "(default: 2000, as in the paper)",
+    )
+
+
 def _router_parameters(args: argparse.Namespace) -> SabreParameters:
     try:
         return SabreParameters(passes=args.router_passes, restarts=args.router_restarts)
     except ValueError as error:
         print(f"repro-design: error: {error}", file=sys.stderr)
         raise SystemExit(2) from None
+
+
+def _evaluation_settings(args: argparse.Namespace) -> EvaluationSettings:
+    """The shared ``EvaluationSettings`` of the evaluate/sweep subcommands."""
+    return EvaluationSettings(
+        yield_trials=args.trials,
+        frequency_local_trials=args.local_trials,
+        routing=_router_parameters(args),
+        routing_cache_path=args.routing_cache,
+        allocation_strategy=args.allocation_strategy,
+        design_cache_path=args.design_cache,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -135,13 +179,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "profile":
         return _cmd_profile(args.benchmark)
     if args.command == "design":
-        return _cmd_design(args.benchmark, args.buses, args.trials, args.alloc_strategy)
+        return _cmd_design(args.benchmark, args.buses, args.trials, args.allocation_strategy)
     if args.command == "evaluate":
-        return _cmd_evaluate(args.benchmarks, args.trials, args.plot, _router_parameters(args),
-                             args.routing_cache)
+        return _cmd_evaluate(args.benchmarks, _evaluation_settings(args), args.plot)
     if args.command == "sweep":
-        return _cmd_sweep(args.benchmarks, args.jobs, args.trials, args.configs, args.plot,
-                          _router_parameters(args), args.routing_cache)
+        return _cmd_sweep(args.benchmarks, args.jobs, args.configs, args.plot,
+                          _evaluation_settings(args))
     return 2
 
 
@@ -194,11 +237,9 @@ def _print_result(result, plot: bool) -> None:
 def _cmd_sweep(
     benchmarks: List[str],
     jobs: int,
-    trials: int,
     config_values: Optional[List[str]],
     plot: bool,
-    routing: SabreParameters,
-    routing_cache: Optional[str] = None,
+    settings: EvaluationSettings,
 ) -> int:
     from repro.evaluation.parallel import save_worker_routing_cache
 
@@ -210,11 +251,12 @@ def _cmd_sweep(
         if config_values
         else DEFAULT_CONFIGS
     )
-    settings = EvaluationSettings(yield_trials=trials, routing=routing,
-                                  routing_cache_path=routing_cache)
     results = run_sweep(names, jobs=jobs, settings=settings, configs=configs)
     # In-process sweeps (--jobs 1) accumulate routing results here; persist
-    # them so later invocations — serial or sharded — start warm.
+    # them so later invocations — serial or sharded — start warm.  (The
+    # design cache needs no such step: generation tasks merge their plans
+    # from inside the workers, for every --jobs count.)
+    routing_cache = settings.routing_cache_path
     if save_worker_routing_cache(settings) is None and routing_cache and jobs > 1:
         print(
             f"repro-design: note: --jobs {jobs} workers warm-loaded "
@@ -227,29 +269,32 @@ def _cmd_sweep(
     return 0
 
 
-def _cmd_evaluate(benchmarks: List[str], trials: int, plot: bool,
-                  routing: SabreParameters, routing_cache: Optional[str] = None) -> int:
-    from repro.design import DesignEngine
+def _cmd_evaluate(benchmarks: List[str], settings: EvaluationSettings,
+                  plot: bool) -> int:
+    from repro.evaluation.experiment import design_engine_for
     from repro.mapping import RoutingEngine
 
-    settings = EvaluationSettings(yield_trials=trials, routing=routing,
-                                  routing_cache_path=routing_cache)
     # One engine of each kind across benchmarks: the IBM baselines repeat,
     # so their routers/distance matrices are built once per invocation, and
     # design stages shared between benchmarks are computed once.
-    engine = RoutingEngine(routing)
-    if routing_cache:
-        engine.cache.load(routing_cache, missing_ok=True)
-    design_engine = DesignEngine()
+    engine = RoutingEngine(settings.routing)
+    if settings.routing_cache_path:
+        engine.cache.load(settings.routing_cache_path, missing_ok=True)
+    design_engine = design_engine_for(settings)
+    routing_misses = engine.cache.misses
+    design_misses = design_engine.frequency_cache.misses
     for name in benchmarks:
         circuit = get_benchmark(name)
         _print_result(evaluate_benchmark(circuit, settings=settings, engine=engine,
                                          design_engine=design_engine), plot)
-    if routing_cache:
-        # Re-merge the file first so a concurrent writer's (or an earlier
-        # run's) entries are not dropped by the rewrite.
-        engine.cache.load(routing_cache, missing_ok=True)
-        engine.cache.save(routing_cache)
+    # Locked file-level merges: a concurrent writer's (or an earlier
+    # run's) entries are never dropped by the refresh, and fully warm
+    # runs (no new cache misses) skip the rewrite entirely.
+    if settings.routing_cache_path and engine.cache.misses > routing_misses:
+        engine.cache.merge_save(settings.routing_cache_path)
+    if settings.design_cache_path and \
+            design_engine.frequency_cache.misses > design_misses:
+        design_engine.frequency_cache.merge_save(settings.design_cache_path)
     return 0
 
 

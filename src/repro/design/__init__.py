@@ -28,9 +28,11 @@ from repro.design.frequency_allocation import (
     AllocationStrategy,
     FrequencyAllocator,
     allocate_frequencies,
+    allocation_call_count,
+    reset_allocation_call_count,
     resolve_strategy,
 )
-from repro.design.engine import DesignEngine, StageCache
+from repro.design.engine import DesignCache, DesignEngine, StageCache
 from repro.design.flow import (
     DesignFlow,
     DesignOptions,
@@ -49,7 +51,10 @@ __all__ = [
     "AllocationStrategy",
     "FrequencyAllocator",
     "allocate_frequencies",
+    "allocation_call_count",
+    "reset_allocation_call_count",
     "resolve_strategy",
+    "DesignCache",
     "DesignEngine",
     "StageCache",
     "DesignFlow",

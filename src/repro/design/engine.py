@@ -45,7 +45,10 @@ import enum
 import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro import persistence
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.design.bus_selection import (
@@ -154,6 +157,107 @@ class StageCache:
         return {"entries": len(self._entries), "hits": self.hits, "misses": self.misses}
 
 
+class DesignCache(StageCache):
+    """The frequency-allocation stage cache, persistable across processes.
+
+    Mirrors :class:`~repro.mapping.engine.RoutingCache`: the memoized
+    Algorithm 3 frequency plans — by far the most expensive stage of the
+    design flow — round-trip through a versioned, counts-only JSON file
+    (a few floats per qubit; never simulators or noise tensors), so a
+    second session, or every worker of a ``sweep --jobs N``, re-derives
+    a warm evaluation grid's architectures without a single Monte Carlo
+    call.
+
+    Keys are *full content*, not digests — the architecture's qubit set,
+    coupling edges and centre qubit plus the complete allocator
+    configuration — so a loaded entry can never be served to a
+    near-miss input; there is no collision guard to re-confirm.  Entries
+    are exactly what a fresh :class:`FrequencyAllocator` run produces,
+    so hits are bit-identical to recomputation and parallel sweeps stay
+    byte-identical for any worker count, warm or cold.
+    """
+
+    #: Persisted-file envelope (see :mod:`repro.persistence`).
+    FORMAT = "repro-design-cache"
+    VERSION = 1
+
+    def __init__(self, max_entries: Optional[int] = DEFAULT_STAGE_ENTRIES) -> None:
+        super().__init__("frequency", max_entries)
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Persist the memoized frequency plans to a counts-only JSON file.
+
+        The file is an image of the in-memory stage cache (at most
+        ``max_entries`` plans); use :meth:`merge_save` to extend an
+        existing file instead of replacing it.  The write is atomic
+        (temp file + ``os.replace``), so concurrent readers never
+        observe a torn file.  Returns the number of entries written.
+        """
+        return persistence.write_cache_file(
+            path, self.FORMAT, self.VERSION, self._serialize_entries()
+        )
+
+    def _serialize_entries(self) -> list:
+        """The in-memory frequency plans as persistable records."""
+        return [
+            {
+                "key": persistence.listify(key),
+                "frequencies": {str(qubit): value for qubit, value in plan.items()},
+            }
+            for key, plan in self._entries.items()
+        ]
+
+    @staticmethod
+    def _record_key(record: dict) -> Tuple:
+        """A serialized record's identity (file-level merge key)."""
+        return persistence.tuplify(record["key"])
+
+    def load(self, path: Union[str, Path], missing_ok: bool = False) -> int:
+        """Merge a persisted cache file into this cache.
+
+        Existing in-memory entries win over file entries under the same
+        key.  Files with the wrong format marker or an unknown schema
+        version are rejected with a clear error.  Returns the number of
+        merged entries still resident afterwards — on a bounded cache, a
+        file larger than ``max_entries`` merges only its tail, and the
+        count reflects that rather than masking the eviction.
+        ``missing_ok`` turns a nonexistent file into a no-op returning 0.
+        """
+        records = persistence.read_cache_entries(
+            path, self.FORMAT, self.VERSION, missing_ok=missing_ok,
+            kind="design cache",
+        )
+        if records is None:
+            return 0
+
+        def decode(record: dict) -> Tuple:
+            plan = {
+                int(qubit): float(value)
+                for qubit, value in record["frequencies"].items()
+            }
+            return self._record_key(record), plan
+
+        return persistence.merge_loaded(self, records, decode)
+
+    def merge_save(self, path: Union[str, Path]) -> int:
+        """Extend the persisted file with this cache's entries, concurrency-safe.
+
+        A file-level union under a per-path lock: the file keeps every
+        plan it already holds (this cache's entries win under equal
+        keys) plus everything memoized here — it never shrinks to this
+        cache's LRU bound, so a long sweep's cache file stays complete
+        even when its grid outgrows ``max_entries``, and concurrent
+        workers sharing one cache path cannot drop each other's results.
+        Returns the number of entries the rewritten file holds.
+        """
+        return persistence.union_merge_save(
+            path, self.FORMAT, self.VERSION, self._serialize_entries(),
+            self._record_key, kind="design cache",
+        )
+
+
 def circuit_design_key(circuit: QuantumCircuit) -> Tuple:
     """Value identity of a circuit as far as profiling is concerned.
 
@@ -213,13 +317,36 @@ class DesignEngine:
 
     Args:
         max_entries: Bound on memoized entries per stage (None = unbounded).
+        frequency_cache: Optional externally owned :class:`DesignCache`
+            for the frequency-allocation stage (a fresh bounded cache is
+            created when omitted).  Passing one shares persisted
+            Algorithm 3 plans across engines, exactly as
+            :class:`~repro.mapping.engine.RoutingEngine` shares a
+            :class:`~repro.mapping.engine.RoutingCache`.
     """
 
-    def __init__(self, max_entries: Optional[int] = DEFAULT_STAGE_ENTRIES) -> None:
+    def __init__(
+        self,
+        max_entries: Optional[int] = DEFAULT_STAGE_ENTRIES,
+        frequency_cache: Optional[DesignCache] = None,
+    ) -> None:
         self._profiles = StageCache("profile", max_entries)
         self._layouts = StageCache("layout", max_entries)
         self._selections = StageCache("bus-selection", max_entries)
-        self._frequencies = StageCache("frequency", max_entries)
+        self._frequencies = (
+            frequency_cache if frequency_cache is not None
+            else DesignCache(max_entries)
+        )
+
+    @property
+    def frequency_cache(self) -> DesignCache:
+        """The persistable frequency-stage cache (see :class:`DesignCache`).
+
+        Use ``engine.frequency_cache.load(path, missing_ok=True)`` to
+        warm-start a session and ``engine.frequency_cache.merge_save(path)``
+        to persist its Algorithm 3 plans at the end of one.
+        """
+        return self._frequencies
 
     # -- stages ----------------------------------------------------------------
 

@@ -78,6 +78,26 @@ from repro.utils.rng import seed_for
 #: exact equality of success counts for any realistic trial count.
 TIE_TOLERANCE = 1e-12
 
+#: Process-wide count of :meth:`FrequencyAllocator.allocate` invocations.
+#: Instrumentation for the warm-session proofs (tests and
+#: ``benchmarks/bench_design_cache.py``): a run served entirely from a
+#: persisted :class:`~repro.design.engine.DesignCache` must leave this
+#: counter untouched — zero Algorithm 3 Monte Carlo searches.
+_ALLOCATION_CALLS = 0
+
+
+def allocation_call_count() -> int:
+    """How many Algorithm 3 searches ran in this process (see above)."""
+    return _ALLOCATION_CALLS
+
+
+def reset_allocation_call_count() -> int:
+    """Zero the process-wide Algorithm 3 counter; returns the previous value."""
+    global _ALLOCATION_CALLS
+    previous = _ALLOCATION_CALLS
+    _ALLOCATION_CALLS = 0
+    return previous
+
 
 class _AllocationContext:
     """Per-architecture state shared by every allocation strategy.
@@ -502,6 +522,8 @@ class FrequencyAllocator:
         """
         if not architecture.qubits:
             raise ValueError("architecture has no qubits")
+        global _ALLOCATION_CALLS
+        _ALLOCATION_CALLS += 1
         context = _AllocationContext(self, architecture)
         strategy = resolve_strategy(self.strategy, self.refinement_passes)
         return strategy.assign(context)

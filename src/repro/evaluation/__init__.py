@@ -16,6 +16,7 @@ from repro.evaluation.experiment import (
     DataPoint,
     EvaluationSettings,
     ExperimentResult,
+    design_engine_for,
     evaluate_benchmark,
     evaluate_point,
     evaluate_suite,
@@ -24,6 +25,7 @@ from repro.evaluation.parallel import (
     SweepExecutor,
     SweepPoint,
     run_sweep,
+    save_worker_routing_cache,
     sweep_point_seed,
 )
 from repro.evaluation.pareto import is_dominated, pareto_front
@@ -42,12 +44,14 @@ __all__ = [
     "DataPoint",
     "EvaluationSettings",
     "ExperimentResult",
+    "design_engine_for",
     "evaluate_benchmark",
     "evaluate_point",
     "evaluate_suite",
     "SweepExecutor",
     "SweepPoint",
     "run_sweep",
+    "save_worker_routing_cache",
     "sweep_point_seed",
     "pareto_front",
     "is_dominated",

@@ -54,6 +54,7 @@ def architectures_for_config(
     random_bus_seeds: Sequence[int] = (1, 2, 3, 4, 5),
     frequency_local_trials: int = 2000,
     engine: Optional[DesignEngine] = None,
+    allocation_strategy: str = "bfs-greedy",
 ) -> List[Architecture]:
     """Generate every architecture evaluated under ``config`` for ``circuit``.
 
@@ -70,13 +71,22 @@ def architectures_for_config(
             random-bus seeds that agree on their selected squares share
             one frequency allocation; results are identical with or
             without sharing.
+        allocation_strategy: Algorithm 3 search strategy (see
+            :data:`~repro.design.frequency_allocation.ALLOCATION_STRATEGIES`)
+            for the configurations that run it (``eff-full`` and
+            ``eff-rd-bus``); the paper-exact ``bfs-greedy`` by default.
+            This is how whole sweeps run the ``analytic-guided`` /
+            ``coordinate-descent`` ablations.
     """
     engine = engine if engine is not None else DesignEngine()
     if config is ExperimentConfig.IBM:
         return [arch for _index, arch in sorted(ibm_baselines().items())]
 
     if config is ExperimentConfig.EFF_FULL:
-        options = DesignOptions(local_trials=frequency_local_trials)
+        options = DesignOptions(
+            local_trials=frequency_local_trials,
+            allocation_strategy=allocation_strategy,
+        )
         return DesignFlow(circuit, options, engine=engine).design_series()
 
     if config is ExperimentConfig.EFF_5_FREQ:
@@ -94,6 +104,7 @@ def architectures_for_config(
                 bus_strategy=BusStrategy.RANDOM,
                 random_bus_seed=seed,
                 local_trials=frequency_local_trials,
+                allocation_strategy=allocation_strategy,
             )
             flow = DesignFlow(circuit, options, engine=engine)
             previous_bus_count = -1

@@ -57,6 +57,16 @@ class EvaluationSettings:
             cache (see :meth:`~repro.mapping.engine.RoutingCache.load`):
             evaluation engines warm-load it, so repeated sweeps reuse
             routing results across processes.  Missing files are ignored.
+        allocation_strategy: Algorithm 3 search strategy used by the
+            design-flow configurations (``eff-full`` / ``eff-rd-bus``);
+            the paper-exact ``bfs-greedy`` by default.  Setting
+            ``analytic-guided`` or ``coordinate-descent`` runs the whole
+            sweep as that ablation — byte-identically for any job count.
+        design_cache_path: Optional path to a persisted design-stage
+            cache (see :class:`~repro.design.engine.DesignCache`):
+            design engines warm-load it, so repeated evaluations reuse
+            Algorithm 3 frequency plans across processes.  Missing files
+            are ignored.
     """
 
     yield_trials: int = 10_000
@@ -67,6 +77,36 @@ class EvaluationSettings:
     keep_routed_circuits: bool = False
     routing: SabreParameters = SabreParameters()
     routing_cache_path: Optional[str] = None
+    allocation_strategy: str = "bfs-greedy"
+    design_cache_path: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        # Fail fast — before any worker forks — on a strategy name no
+        # allocator will accept.
+        from repro.design.frequency_allocation import resolve_strategy
+
+        resolve_strategy(self.allocation_strategy)
+
+
+def design_engine_for(settings: EvaluationSettings) -> DesignEngine:
+    """A fresh :class:`DesignEngine` warm-loaded per ``settings``.
+
+    The single construction path used by the serial harness, the sweep
+    workers, and the CLI: when ``settings.design_cache_path`` names a
+    persisted :class:`~repro.design.engine.DesignCache` file, its
+    Algorithm 3 frequency plans are merged in before any design runs
+    (missing files are ignored).  The frequency cache is unbounded in
+    that case — the zero-search warm-session guarantee must hold however
+    large the persisted grid grew, and memory stays bounded by the
+    counts-only file the operator chose to persist.
+    """
+    if not settings.design_cache_path:
+        return DesignEngine()
+    from repro.design.engine import DesignCache
+
+    engine = DesignEngine(frequency_cache=DesignCache(max_entries=None))
+    engine.frequency_cache.load(settings.design_cache_path, missing_ok=True)
+    return engine
 
 
 @dataclass
@@ -152,7 +192,7 @@ def evaluate_benchmark(
         if settings.routing_cache_path:
             engine.cache.load(settings.routing_cache_path, missing_ok=True)
     if design_engine is None:
-        design_engine = DesignEngine()
+        design_engine = design_engine_for(settings)
     # The design engine's profile stage serves both the architecture
     # generation below and the router's initial placement.
     profile = design_engine.profile(circuit)
@@ -164,6 +204,7 @@ def evaluate_benchmark(
             random_bus_seeds=settings.random_bus_seeds,
             frequency_local_trials=settings.frequency_local_trials,
             engine=design_engine,
+            allocation_strategy=settings.allocation_strategy,
         ):
             if architecture.num_qubits < circuit.num_qubits:
                 continue
@@ -191,7 +232,7 @@ def evaluate_suite(
     engine = RoutingEngine(settings.routing)
     if settings.routing_cache_path:
         engine.cache.load(settings.routing_cache_path, missing_ok=True)
-    design_engine = DesignEngine()
+    design_engine = design_engine_for(settings)
     return {
         name: evaluate_benchmark(circuit, configs, settings, engine=engine,
                                  design_engine=design_engine)

@@ -35,6 +35,7 @@ from repro.evaluation.experiment import (
     DataPoint,
     EvaluationSettings,
     ExperimentResult,
+    design_engine_for,
     evaluate_point,
 )
 from repro.hardware.architecture import Architecture
@@ -86,10 +87,11 @@ def sweep_point_seed(base_seed: int, benchmark: str, config_value: str, arch_ind
 #: for any N regardless of which points land in which process.
 _WORKER_ENGINES: Dict[Tuple[SabreParameters, Optional[str]], RoutingEngine] = {}
 
-#: Process-local design engine shared by every generation task.  Design is
-#: a pure deterministic function of (circuit, configuration), so stage
-#: cache hits can never change which architectures a sweep enumerates.
-_WORKER_DESIGN_ENGINE: List[DesignEngine] = []
+#: Process-local design engines, one per design-cache path.  Design is a
+#: pure deterministic function of (circuit, configuration), so stage
+#: cache hits — warm-loaded or accumulated — can never change which
+#: architectures a sweep enumerates.
+_WORKER_DESIGN_ENGINES: Dict[Optional[str], DesignEngine] = {}
 
 
 def _worker_engine(settings: EvaluationSettings) -> RoutingEngine:
@@ -104,10 +106,14 @@ def _worker_engine(settings: EvaluationSettings) -> RoutingEngine:
     return engine
 
 
-def _worker_design_engine() -> DesignEngine:
-    if not _WORKER_DESIGN_ENGINE:
-        _WORKER_DESIGN_ENGINE.append(DesignEngine())
-    return _WORKER_DESIGN_ENGINE[0]
+def _worker_design_engine(settings: EvaluationSettings) -> DesignEngine:
+    key = settings.design_cache_path
+    engine = _WORKER_DESIGN_ENGINES.get(key)
+    if engine is None:
+        # design_engine_for warm-loads the persisted frequency plans, so
+        # every worker process starts its generation tasks warm.
+        engine = _WORKER_DESIGN_ENGINES.setdefault(key, design_engine_for(settings))
+    return engine
 
 
 def save_worker_routing_cache(settings: EvaluationSettings) -> Optional[int]:
@@ -116,17 +122,17 @@ def save_worker_routing_cache(settings: EvaluationSettings) -> Optional[int]:
     Returns the number of entries written, or None when the settings name
     no cache file or this process routed nothing (multi-process sweeps
     route in their workers; only in-process runs accumulate results
-    here).  Existing file entries are merged before writing, so a save
-    only drops entries the cache's LRU bound evicts — never the whole
-    previous file.
+    here).  The file-level merge is serialized under a per-path lock and
+    the file is rewritten atomically, so concurrent savers sharing one
+    cache path cannot drop each other's entries and the file never
+    shrinks to one saver's LRU bound.
     """
     if not settings.routing_cache_path:
         return None
     engine = _WORKER_ENGINES.get((settings.routing, settings.routing_cache_path))
     if engine is None:
         return None
-    engine.cache.load(settings.routing_cache_path, missing_ok=True)
-    return engine.cache.save(settings.routing_cache_path)
+    return engine.cache.merge_save(settings.routing_cache_path)
 
 
 def _generate_task(
@@ -135,13 +141,23 @@ def _generate_task(
     benchmark, config_value, settings = task
     circuit = get_benchmark(benchmark)
     config = ExperimentConfig(config_value)
+    engine = _worker_design_engine(settings)
+    misses_before = engine.frequency_cache.misses
     architectures = architectures_for_config(
         circuit,
         config,
         random_bus_seeds=settings.random_bus_seeds,
         frequency_local_trials=settings.frequency_local_trials,
-        engine=_worker_design_engine(),
+        engine=engine,
+        allocation_strategy=settings.allocation_strategy,
     )
+    if settings.design_cache_path and engine.frequency_cache.misses > misses_before:
+        # Merge freshly computed frequency plans back immediately: Pool
+        # workers have no end-of-sweep hook, and the locked merge keeps
+        # concurrent workers from dropping each other's entries — so even
+        # ``sweep --jobs N`` leaves the cache file complete.  Tasks served
+        # entirely warm (no new stage misses) skip the rewrite.
+        engine.frequency_cache.merge_save(settings.design_cache_path)
     return [
         (benchmark, config_value, index, architecture)
         for index, architecture in enumerate(architectures)

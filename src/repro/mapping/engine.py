@@ -22,11 +22,12 @@ hits and misses distribute across processes.
 from __future__ import annotations
 
 import hashlib
-import json
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
+
+from repro import persistence
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.hardware.architecture import Architecture
@@ -103,6 +104,10 @@ class RoutingCache:
     memory without limit.
     """
 
+    #: Persisted-file envelope (see :mod:`repro.persistence`).
+    FORMAT = "repro-routing-cache"
+    VERSION = 1
+
     def __init__(self, max_entries: Optional[int] = DEFAULT_CACHE_ENTRIES) -> None:
         if max_entries is not None and max_entries < 1:
             raise ValueError(f"max_entries must be >= 1 or None, got {max_entries}")
@@ -154,9 +159,12 @@ class RoutingCache:
 
         The file is an image of the in-memory cache, so it holds at most
         ``max_entries`` results; writers wanting to extend an existing
-        file rather than replace it should :meth:`load` it first (cached
-        entries win over file entries, and anything beyond the bound
-        falls out least-recently-used).
+        file rather than replace it should use :meth:`merge_save` (cached
+        entries win over file entries, anything beyond the bound falls
+        out least-recently-used, and the load-merge-rewrite cycle is
+        serialized against concurrent writers).  The write itself is
+        atomic (temp file + ``os.replace``), so readers never observe a
+        torn or truncated file.
 
         Because the gate tuples are not persisted, results served from a
         loaded cache are trusted on the 64-bit circuit content digest in
@@ -164,8 +172,12 @@ class RoutingCache:
         them).  A digest collision between two same-length, same-name,
         same-width circuits is the only way a loaded entry can be wrong.
         """
-        from repro.mapping.router import MappingResult  # noqa: F401  (documented shape)
+        return persistence.write_cache_file(
+            path, self.FORMAT, self.VERSION, self._serialize_entries()
+        )
 
+    def _serialize_entries(self) -> list:
+        """The in-memory entries as persistable counts-only records."""
         entries = []
         for key, entry in self._entries.items():
             circuit_key, arch_key, parameters, profile_key = key
@@ -185,11 +197,17 @@ class RoutingCache:
                     "final_mapping": {str(k): v for k, v in result.final_mapping.items()},
                 },
             })
-        payload = {"format": "repro-routing-cache", "version": 1, "entries": entries}
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload) + "\n", encoding="utf-8")
-        return len(entries)
+        return entries
+
+    @staticmethod
+    def _record_key(record: dict) -> Tuple:
+        """A serialized record's identity (file-level merge key)."""
+        return (
+            persistence.tuplify(record["circuit_key"]),
+            persistence.tuplify(record["architecture_key"]),
+            tuple(sorted(record["parameters"].items())),
+            record["profile_key"],
+        )
 
     def load(self, path: Union[str, Path], missing_ok: bool = False) -> int:
         """Merge a persisted cache file into this cache.
@@ -197,29 +215,30 @@ class RoutingCache:
         Loaded entries are counts-only (no routed circuit): route calls
         with ``keep_routed_circuit=True`` still recompute and upgrade
         them.  Existing in-memory entries win over file entries under the
-        same key.  Returns the number of entries merged; ``missing_ok``
-        turns a nonexistent file into a no-op returning 0.
+        same key.  Files with the wrong format marker or an unknown
+        schema version are rejected with a clear error.  Returns the
+        number of merged entries still resident afterwards — on a
+        bounded cache, a file larger than ``max_entries`` merges only
+        its tail, and the count reflects that rather than masking the
+        eviction.  ``missing_ok`` turns a nonexistent file into a no-op
+        returning 0.
         """
         from repro.mapping.router import MappingResult
 
-        path = Path(path)
-        if not path.exists():
-            if missing_ok:
-                return 0
-            raise FileNotFoundError(f"routing cache file not found: {path}")
-        payload = json.loads(path.read_text(encoding="utf-8"))
-        if payload.get("format") != "repro-routing-cache":
-            raise ValueError(f"{path} is not a routing cache file")
-        loaded = 0
-        for record in payload["entries"]:
+        records = persistence.read_cache_entries(
+            path, self.FORMAT, self.VERSION, missing_ok=missing_ok,
+            kind="routing cache",
+        )
+        if records is None:
+            return 0
+
+        def decode(record: dict) -> Tuple:
             key = (
                 tuple(record["circuit_key"]),
                 _tuplify(record["architecture_key"]),
                 _parameters_from_dict(record["parameters"]),
                 record["profile_key"],
             )
-            if key in self._entries:
-                continue
             data = record["result"]
             result = MappingResult(
                 circuit_name=data["circuit_name"],
@@ -231,9 +250,24 @@ class RoutingCache:
                 final_mapping={int(k): v for k, v in data["final_mapping"].items()},
                 routed_circuit=None,
             )
-            self.put(key, _CacheEntry(gates=None, result=result))
-            loaded += 1
-        return loaded
+            return key, _CacheEntry(gates=None, result=result)
+
+        return persistence.merge_loaded(self, records, decode)
+
+    def merge_save(self, path: Union[str, Path]) -> int:
+        """Extend the persisted file with this cache's entries, concurrency-safe.
+
+        A file-level union under a per-path lock: the file keeps every
+        entry it already holds (this cache's entries win under equal
+        keys) plus everything memoized here — it never shrinks to this
+        cache's LRU bound, and concurrent workers sharing one cache path
+        cannot drop each other's results.  Returns the number of entries
+        the rewritten file holds.
+        """
+        return persistence.union_merge_save(
+            path, self.FORMAT, self.VERSION, self._serialize_entries(),
+            self._record_key, kind="routing cache",
+        )
 
 
 class RoutingEngine:
@@ -400,18 +434,9 @@ class RoutingEngine:
         return _result_copy(result, keep_routed_circuit)
 
 
-def _listify(value):
-    """Tuples to lists, recursively (JSON encoding of cache keys)."""
-    if isinstance(value, tuple):
-        return [_listify(item) for item in value]
-    return value
-
-
-def _tuplify(value):
-    """Lists to tuples, recursively (JSON decoding of cache keys)."""
-    if isinstance(value, list):
-        return tuple(_tuplify(item) for item in value)
-    return value
+# JSON key codecs, shared with every persisted cache.
+_listify = persistence.listify
+_tuplify = persistence.tuplify
 
 
 def _parameters_to_dict(parameters: SabreParameters) -> Dict:

@@ -1,0 +1,266 @@
+"""Shared cache-file machinery for persisted result caches.
+
+Both persisted caches of the code base — the routing-result cache
+(:class:`~repro.mapping.engine.RoutingCache`) and the design-stage cache
+(:class:`~repro.design.engine.DesignCache`) — store counts-only JSON
+files that many processes read and rewrite concurrently: every worker of
+a ``sweep --jobs N`` warm-loads the file, and whichever processes
+accumulated new results merge them back at the end of their run.  This
+module owns the machinery that makes those files safe to share:
+
+* **Atomic writes** — :func:`write_cache_file` writes to a temporary
+  file in the destination directory and ``os.replace``\\ s it into
+  place, so a reader (or the survivor of a crashed writer) can never
+  observe a torn or truncated file.
+* **Format and version validation** — :func:`read_cache_entries`
+  rejects files with the wrong ``format`` marker *and* files with an
+  unknown ``version``: a future version-2 file fails loudly instead of
+  being half-parsed by version-1 code.
+* **Per-path merge locks** — :func:`cache_file_lock` serializes the
+  read-merge-rewrite cycle that extends an existing file, so concurrent
+  writers sharing one cache path cannot silently drop each other's
+  entries.  The lock combines an in-process :class:`threading.Lock`
+  (keyed by absolute path) with an ``fcntl`` file lock on a ``.lock``
+  sidecar, covering both threads within a process and sibling worker
+  processes.  On platforms without ``fcntl`` the in-process lock still
+  applies; cross-process merges degrade to last-writer-wins of the
+  *merged* states, which can only lose entries written in the window
+  between a load and a replace.
+* **JSON key codecs** — :func:`listify` / :func:`tuplify` convert the
+  nested tuples of cache keys to and from JSON arrays.
+
+Cache classes stay in charge of their own entry schemas; this module
+only standardizes the envelope (``{"format", "version", "entries"}``)
+and the concurrency discipline around it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
+
+try:  # pragma: no cover - exercised implicitly on POSIX
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+PathLike = Union[str, Path]
+
+#: In-process merge locks, one per absolute cache path.  ``fcntl`` locks
+#: are per open file description, not per thread, so threads sharing a
+#: process need their own serialization layer.
+_PROCESS_LOCKS: Dict[str, threading.Lock] = {}
+_PROCESS_LOCKS_GUARD = threading.Lock()
+
+
+def listify(value):
+    """Tuples to lists, recursively (JSON encoding of cache keys)."""
+    if isinstance(value, tuple):
+        return [listify(item) for item in value]
+    return value
+
+
+def tuplify(value):
+    """Lists to tuples, recursively (JSON decoding of cache keys)."""
+    if isinstance(value, list):
+        return tuple(tuplify(item) for item in value)
+    return value
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file lives in the destination directory so the final
+    rename never crosses a filesystem boundary; a crash between write
+    and rename leaves the previous file contents untouched.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    # mkstemp creates 0o600 files; keep the destination's existing
+    # permissions (or conventional 0o644 for a new file) so a cache
+    # shared between users stays readable after a rewrite.
+    try:
+        mode = path.stat().st_mode & 0o777
+    except OSError:
+        mode = 0o644
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".", suffix=".tmp", dir=path.parent
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            os.chmod(tmp_name, mode)
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def write_cache_file(
+    path: PathLike, file_format: str, version: int, entries: List[dict]
+) -> int:
+    """Atomically write a cache file in the standard envelope.
+
+    Returns the number of entries written.
+    """
+    payload = {"format": file_format, "version": version, "entries": entries}
+    atomic_write_text(path, json.dumps(payload) + "\n")
+    return len(entries)
+
+
+def read_cache_entries(
+    path: PathLike,
+    file_format: str,
+    version: int,
+    missing_ok: bool = False,
+    kind: Optional[str] = None,
+) -> Optional[List[dict]]:
+    """Read and validate a cache file; return its entry list.
+
+    Args:
+        path: Cache file location.
+        file_format: Expected ``format`` marker.
+        version: The (single) supported schema version.  Files declaring
+            any other version are rejected with a clear error instead of
+            being half-parsed.
+        missing_ok: Return ``None`` for a nonexistent file instead of
+            raising :class:`FileNotFoundError`.
+        kind: Human-readable file kind for error messages (defaults to
+            ``file_format``).
+    """
+    kind = kind or file_format
+    path = Path(path)
+    if not path.exists():
+        if missing_ok:
+            return None
+        raise FileNotFoundError(f"{kind} file not found: {path}")
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("format") != file_format:
+        raise ValueError(f"{path} is not a {kind} file")
+    found = payload.get("version")
+    if found != version:
+        raise ValueError(
+            f"{path} declares unsupported {kind} version {found!r} "
+            f"(this release reads version {version}); it was likely written "
+            "by a newer release — delete the file or upgrade"
+        )
+    return payload["entries"]
+
+
+def merge_loaded(cache, records: List[dict], decode) -> int:
+    """Merge decoded file records into a bounded LRU cache.
+
+    The shared tail of every persisted cache's ``load``: existing
+    in-memory entries win under equal keys, and the return value counts
+    the merged entries *still resident* afterwards — on a bounded cache,
+    a file larger than the bound merges only its tail, and the count
+    reflects that rather than masking the eviction.
+
+    Args:
+        cache: A cache exposing the in-package LRU protocol (the
+            ``_entries`` mapping and ``put``) — i.e.
+            :class:`~repro.mapping.engine.RoutingCache` or a
+            :class:`~repro.design.engine.StageCache` subclass.
+        records: The validated entry list of a cache file.
+        decode: Maps one serialized record to its ``(key, value)`` pair.
+    """
+    merged_keys = []
+    for record in records:
+        key, value = decode(record)
+        if key in cache._entries:
+            continue
+        cache.put(key, value)
+        merged_keys.append(key)
+    return sum(1 for key in merged_keys if key in cache._entries)
+
+
+def _process_lock(key: str) -> threading.Lock:
+    with _PROCESS_LOCKS_GUARD:
+        lock = _PROCESS_LOCKS.get(key)
+        if lock is None:
+            lock = _PROCESS_LOCKS.setdefault(key, threading.Lock())
+        return lock
+
+
+@contextmanager
+def cache_file_lock(path: PathLike) -> Iterator[None]:
+    """Serialize a read-merge-rewrite cycle on ``path`` against other writers.
+
+    Hold the lock across the *whole* cycle — load, merge, save — not
+    just the write: atomic replacement alone cannot stop two concurrent
+    mergers from both loading the same base state and the second replace
+    discarding the first's additions.
+
+    The lock is reentrant-unsafe (don't nest on the same path) and is
+    taken on a ``<name>.lock`` sidecar rather than the cache file
+    itself, so locking never interferes with the atomic replace.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    key = os.path.abspath(path)
+    with _process_lock(key):
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        lock_path = path.with_name(path.name + ".lock")
+        fd = os.open(lock_path, os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(fd, fcntl.LOCK_UN)
+        finally:
+            os.close(fd)
+
+
+def union_merge_save(
+    path: PathLike,
+    file_format: str,
+    version: int,
+    records: List[dict],
+    key_of,
+    kind: Optional[str] = None,
+) -> int:
+    """Extend the cache file at ``path`` with ``records``, concurrency-safe.
+
+    The canonical end-of-run persistence step: under the per-path lock,
+    the file's current entries are read and unioned with ``records``
+    (``records`` win under equal ``key_of`` keys, file order is
+    preserved, new entries append), and the union is written back
+    atomically.  The merge happens at the *file* level, deliberately
+    outside any in-memory cache: the persisted file accumulates every
+    entry ever merged into it, never shrinking to a producer's LRU
+    bound, and never dropping a concurrent writer's additions.
+
+    Args:
+        path: Cache file location.
+        file_format: ``format`` marker of the envelope.
+        version: Schema version written and required of the existing file.
+        records: Serialized entries to merge in (JSON-compatible dicts).
+        key_of: Maps a serialized record to its hashable identity; must
+            agree for file-loaded and freshly serialized records.
+        kind: Human-readable file kind for error messages.
+
+    Returns the number of entries the rewritten file holds.
+    """
+    with cache_file_lock(path):
+        existing = read_cache_entries(
+            path, file_format, version, missing_ok=True, kind=kind
+        )
+        merged: Dict = {}
+        for record in existing or []:
+            merged[key_of(record)] = record
+        for record in records:
+            merged[key_of(record)] = record
+        return write_cache_file(path, file_format, version, list(merged.values()))

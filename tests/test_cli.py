@@ -60,6 +60,37 @@ class TestParser:
         with pytest.raises(SystemExit):
             main(["evaluate", "sym6_145", "--trials", "50", "--router-passes", "2"])
 
+    def test_design_knob_defaults(self):
+        for command in ("evaluate", "sweep"):
+            args = build_parser().parse_args([command, "sym6_145"])
+            assert args.allocation_strategy == "bfs-greedy"
+            assert args.design_cache is None
+            assert args.local_trials == 2000
+
+    def test_design_knobs_accepted(self):
+        args = build_parser().parse_args(
+            ["sweep", "sym6_145", "--allocation-strategy", "analytic-guided",
+             "--design-cache", "plans.json", "--local-trials", "500"]
+        )
+        assert args.allocation_strategy == "analytic-guided"
+        assert args.design_cache == "plans.json"
+        assert args.local_trials == 500
+
+    def test_unknown_allocation_strategy_rejected(self):
+        for command in ("evaluate", "sweep"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    [command, "sym6_145", "--allocation-strategy", "nope"]
+                )
+
+    def test_all_commands_accept_both_strategy_spellings(self):
+        for command in ("design", "evaluate", "sweep"):
+            for flag in ("--allocation-strategy", "--alloc-strategy"):
+                args = build_parser().parse_args(
+                    [command, "sym6_145", flag, "analytic-guided"]
+                )
+                assert args.allocation_strategy == "analytic-guided"
+
 
 class TestCommands:
     def test_list_outputs_all_benchmarks(self, capsys):
@@ -97,3 +128,48 @@ class TestCommands:
     def test_sweep_unknown_benchmark_raises_before_forking(self):
         with pytest.raises(KeyError):
             main(["sweep", "nope", "--jobs", "2"])
+
+
+class TestDesignCacheRoundTrip:
+    """CLI round trips of --design-cache / --allocation-strategy."""
+
+    FAST = ["--trials", "200", "--local-trials", "60"]
+
+    def test_evaluate_warm_cache_is_byte_identical_without_searches(
+        self, tmp_path, capsys
+    ):
+        from repro.design import allocation_call_count, reset_allocation_call_count
+
+        cache = str(tmp_path / "design_cache.json")
+        assert main(["evaluate", "sym6_145", *self.FAST, "--design-cache", cache]) == 0
+        cold = capsys.readouterr().out
+        assert (tmp_path / "design_cache.json").exists()
+
+        reset_allocation_call_count()
+        assert main(["evaluate", "sym6_145", *self.FAST, "--design-cache", cache]) == 0
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert allocation_call_count() == 0
+
+    def test_sweep_warm_cache_output_identical_across_jobs(self, tmp_path, capsys):
+        """The acceptance grid at the CLI surface: with a warm cache and the
+        analytic-guided ablation, sweep output is byte-identical for
+        --jobs 1 vs --jobs 4."""
+        cache = str(tmp_path / "design_cache.json")
+        ablation = ["sweep", "sym6_145", *self.FAST, "--configs", "eff-full",
+                    "--design-cache", cache, "--allocation-strategy",
+                    "analytic-guided"]
+        assert main([*ablation, "--jobs", "1"]) == 0
+        warm_serial = capsys.readouterr().out
+        assert (tmp_path / "design_cache.json").exists()
+        assert main([*ablation, "--jobs", "4"]) == 0
+        warm_parallel = capsys.readouterr().out
+        assert warm_parallel == warm_serial
+
+    def test_ablation_changes_sweep_output(self, tmp_path, capsys):
+        assert main(["sweep", "sym6_145", *self.FAST, "--configs", "eff-full"]) == 0
+        base = capsys.readouterr().out
+        assert main(["sweep", "sym6_145", *self.FAST, "--configs", "eff-full",
+                     "--allocation-strategy", "analytic-guided"]) == 0
+        ablation = capsys.readouterr().out
+        assert ablation != base

@@ -1,0 +1,195 @@
+"""Tests for the persisted design-stage cache (``DesignCache``)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.design import (
+    DesignCache,
+    DesignEngine,
+    allocation_call_count,
+    reset_allocation_call_count,
+)
+from repro.design.engine import DesignOptions
+
+#: Cheap allocator configuration shared by every test here.
+FAST = DesignOptions(local_trials=80)
+
+
+@pytest.fixture
+def circuit():
+    return get_benchmark("sym6_145")
+
+
+def plans(series):
+    return [
+        (arch.name, tuple(sorted(arch.frequencies.items()))) for arch in series
+    ]
+
+
+class TestSaveLoadRoundTrip:
+    def test_warm_engine_reproduces_series_bit_identically(self, tmp_path, circuit):
+        path = tmp_path / "design_cache.json"
+        producer = DesignEngine()
+        series = producer.design_series(circuit, options=FAST)
+        assert producer.frequency_cache.save(path) == len(series)
+
+        consumer = DesignEngine()
+        assert consumer.frequency_cache.load(path) == len(series)
+        warm = consumer.design_series(circuit, options=FAST)
+        assert plans(warm) == plans(series)
+
+    def test_warm_engine_runs_zero_frequency_searches(self, tmp_path, circuit):
+        """The headline guarantee: a session served from a persisted cache
+        re-derives its architectures without a single Algorithm 3 Monte
+        Carlo search."""
+        path = tmp_path / "design_cache.json"
+        producer = DesignEngine()
+        producer.design_series(circuit, options=FAST)
+        producer.frequency_cache.save(path)
+
+        consumer = DesignEngine()
+        consumer.frequency_cache.load(path)
+        reset_allocation_call_count()
+        consumer.design_series(circuit, options=FAST)
+        assert allocation_call_count() == 0
+        assert consumer.frequency_cache.stats()["misses"] == 0
+
+    def test_loaded_plans_are_caller_owned(self, tmp_path, circuit):
+        path = tmp_path / "design_cache.json"
+        producer = DesignEngine()
+        producer.design_series(circuit, options=FAST)
+        producer.frequency_cache.save(path)
+
+        consumer = DesignEngine()
+        consumer.frequency_cache.load(path)
+        first = consumer.design(circuit, 1, FAST)
+        first.frequencies[0] = -1.0
+        second = consumer.design(circuit, 1, FAST)
+        assert second.frequencies[0] != -1.0
+
+    def test_in_memory_entries_win_over_file_entries(self, tmp_path, circuit):
+        path = tmp_path / "design_cache.json"
+        engine = DesignEngine()
+        series = engine.design_series(circuit, options=FAST)
+        engine.frequency_cache.save(path)
+        assert engine.frequency_cache.load(path) == 0  # nothing new merged
+        assert plans(engine.design_series(circuit, options=FAST)) == plans(series)
+
+
+class TestKeying:
+    def test_allocator_config_participates_in_keys(self, tmp_path, circuit):
+        """Plans persisted under one allocator configuration must never be
+        served to another."""
+        path = tmp_path / "design_cache.json"
+        producer = DesignEngine()
+        producer.design_series(circuit, options=FAST)
+        producer.frequency_cache.save(path)
+
+        consumer = DesignEngine()
+        consumer.frequency_cache.load(path)
+        reset_allocation_call_count()
+        other = DesignOptions(local_trials=80, allocation_strategy="analytic-guided")
+        consumer.design_series(circuit, options=other)
+        assert allocation_call_count() > 0  # cache could not serve these
+
+    def test_strategy_specific_plans_round_trip(self, tmp_path, circuit):
+        path = tmp_path / "design_cache.json"
+        options = DesignOptions(local_trials=80, allocation_strategy="analytic-guided")
+        producer = DesignEngine()
+        series = producer.design_series(circuit, options=options)
+        producer.frequency_cache.save(path)
+
+        consumer = DesignEngine()
+        consumer.frequency_cache.load(path)
+        reset_allocation_call_count()
+        assert plans(consumer.design_series(circuit, options=options)) == plans(series)
+        assert allocation_call_count() == 0
+
+
+class TestFileValidation:
+    def test_missing_file_handling(self, tmp_path):
+        cache = DesignCache()
+        missing = tmp_path / "nope.json"
+        assert cache.load(missing, missing_ok=True) == 0
+        with pytest.raises(FileNotFoundError):
+            cache.load(missing)
+
+    def test_foreign_file_rejected(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else", "version": 1, "entries": []}')
+        with pytest.raises(ValueError, match="not a design cache"):
+            DesignCache().load(path)
+
+    def test_unknown_version_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        payload = {"format": DesignCache.FORMAT, "version": 2, "entries": []}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="unsupported .* version 2"):
+            DesignCache().load(path)
+
+    def test_routing_cache_file_rejected(self, tmp_path):
+        path = tmp_path / "routing.json"
+        payload = {"format": "repro-routing-cache", "version": 1, "entries": []}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="not a design cache"):
+            DesignCache().load(path)
+
+
+class TestMergeBeyondBound:
+    def test_merge_save_preserves_entries_beyond_lru_bound(self, tmp_path, circuit):
+        """A producer whose in-memory cache is smaller than the file must
+        extend the file, never truncate it to its own bound — long sweeps
+        outgrowing max_entries keep complete cache files."""
+        path = tmp_path / "design_cache.json"
+        producer = DesignEngine()
+        producer.design_series(circuit, options=FAST)
+        baseline = producer.frequency_cache.merge_save(path)
+        assert baseline > 1
+
+        small = DesignCache(max_entries=1)
+        bounded_engine = DesignEngine(frequency_cache=small)
+        bounded_engine.design(get_benchmark("qft_16"), 0, FAST)
+        assert len(small) == 1
+        assert small.merge_save(path) == baseline + 1
+
+        final = DesignCache()
+        assert final.load(path) == baseline + 1
+
+
+class TestConcurrentMerge:
+    def test_two_thread_merge_saves_lose_no_plans(self, tmp_path, circuit):
+        """Concurrent workers sharing one --design-cache path must end up
+        with the union of their frequency plans."""
+        path = tmp_path / "design_cache.json"
+        qft = get_benchmark("qft_16")
+        engines = {}
+        for name, circ in (("sym", circuit), ("qft", qft)):
+            engine = DesignEngine()
+            engine.design_series(circ, options=FAST)
+            engines[name] = engine
+        expected = sum(len(e.frequency_cache) for e in engines.values())
+
+        barrier = threading.Barrier(len(engines))
+        errors = []
+
+        def merge(engine):
+            try:
+                barrier.wait(timeout=10)
+                engine.frequency_cache.merge_save(path)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=merge, args=(engine,))
+            for engine in engines.values()
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        final = DesignCache()
+        assert final.load(path) == expected

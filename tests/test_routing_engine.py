@@ -296,3 +296,65 @@ class TestCachePersistence:
         Python's per-process hash salt; the pinned value catches any
         regression back to the salted built-in hash()."""
         assert small_circuit().content_hash() == 1918906499985999522
+
+    def test_unknown_version_rejected(self, tmp_path):
+        """A future version-2 cache file must fail loudly instead of being
+        half-parsed by version-1 code."""
+        import json
+
+        path = tmp_path / "future.json"
+        payload = {"format": RoutingCache.FORMAT, "version": 2, "entries": []}
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="unsupported .* version 2"):
+            RoutingCache().load(path)
+
+    def test_save_is_atomic_on_disk(self, tmp_path):
+        """save goes through a temp file + os.replace: after it returns, the
+        directory holds exactly the target file, fully written."""
+        import json
+
+        circuit = small_circuit()
+        producer = RoutingEngine()
+        producer.route(circuit, ibm_16q_2x8(), keep_routed_circuit=False)
+        path = tmp_path / "routing_cache.json"
+        producer.cache.save(path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["routing_cache.json"]
+        payload = json.loads(path.read_text())
+        assert payload["format"] == RoutingCache.FORMAT
+        assert payload["version"] == RoutingCache.VERSION
+
+    def test_concurrent_merge_saves_lose_no_entries(self, tmp_path):
+        """The satellite regression: two workers merging into one shared
+        cache path from different threads must end with the union of their
+        routings, not whichever write landed last."""
+        import threading
+
+        arch = ibm_16q_2x8()
+        engines = []
+        for index in range(2):
+            engine = RoutingEngine()
+            engine.route(
+                small_circuit(name=f"worker_{index}"), arch, keep_routed_circuit=False
+            )
+            engines.append(engine)
+        path = tmp_path / "routing_cache.json"
+        barrier = threading.Barrier(len(engines))
+        errors = []
+
+        def merge(engine):
+            try:
+                barrier.wait(timeout=10)
+                engine.cache.merge_save(path)
+            except Exception as error:  # pragma: no cover - failure reporting
+                errors.append(error)
+
+        threads = [
+            threading.Thread(target=merge, args=(engine,)) for engine in engines
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        final = RoutingCache()
+        assert final.load(path) == 2  # one entry per worker, none dropped
