@@ -48,6 +48,7 @@ from repro.design import DesignCache, DesignEngine
 from repro.design.frequency_allocation import (
     allocation_call_count,
     reset_allocation_call_count,
+    reset_shared_caches,
 )
 from repro.evaluation.configs import ExperimentConfig, architectures_for_config
 
@@ -128,6 +129,10 @@ def run_bench(smoke: bool = False, repeats: int = 2) -> dict:
             # however large the grid grows, so the sessions must not shed
             # plans to an LRU bound before persisting or after loading.
             engine = DesignEngine(frequency_cache=DesignCache(max_entries=None))
+            # A cold session means a fresh process: the allocator's
+            # process-wide ranking/noise caches (PR 5) must not leak
+            # across the benchmark's repeated "sessions".
+            reset_shared_caches()
             reset_allocation_call_count()
             start = time.perf_counter()
             grid = _generate_grid(benchmarks, seeds, local_trials, engine)

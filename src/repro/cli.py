@@ -61,6 +61,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--trials", type=int, default=10_000, help="Monte Carlo trials for yield estimation"
     )
     _add_allocation_strategy_argument(design_parser)
+    _add_screening_argument(design_parser)
 
     evaluate_parser = subparsers.add_parser(
         "evaluate", help="run the Figure 10 experiment for benchmarks"
@@ -133,10 +134,27 @@ def _add_allocation_strategy_argument(target) -> None:
     )
 
 
+def _add_screening_argument(target) -> None:
+    """The Algorithm 3 screening escape hatch, shared by several subcommands."""
+    target.add_argument(
+        "--no-screening", action="store_true",
+        help="disable the exact interval-count screening engine inside "
+             "Algorithm 3 (results are bit-identical either way; screening "
+             "only changes how fast the cold path runs)",
+    )
+
+
 def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
     """Design-engine knobs shared by ``evaluate`` and ``sweep``."""
     group = parser.add_argument_group("design engine")
     _add_allocation_strategy_argument(group)
+    _add_screening_argument(group)
+    group.add_argument(
+        "--cache-stats", action="store_true",
+        help="print a cache-aware session report (per-stage design-engine "
+             "entries/hits/misses and routing-cache hit rates) after the "
+             "results",
+    )
     group.add_argument(
         "--design-cache", default=None, metavar="PATH",
         help="persisted design-stage cache (counts-only JSON of Algorithm 3 "
@@ -168,6 +186,7 @@ def _evaluation_settings(args: argparse.Namespace) -> EvaluationSettings:
         routing_cache_path=args.routing_cache,
         allocation_strategy=args.allocation_strategy,
         design_cache_path=args.design_cache,
+        screening=not args.no_screening,
     )
 
 
@@ -179,12 +198,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "profile":
         return _cmd_profile(args.benchmark)
     if args.command == "design":
-        return _cmd_design(args.benchmark, args.buses, args.trials, args.allocation_strategy)
+        return _cmd_design(args.benchmark, args.buses, args.trials, args.allocation_strategy,
+                           screening=not args.no_screening)
     if args.command == "evaluate":
-        return _cmd_evaluate(args.benchmarks, _evaluation_settings(args), args.plot)
+        return _cmd_evaluate(args.benchmarks, _evaluation_settings(args), args.plot,
+                             cache_stats=args.cache_stats)
     if args.command == "sweep":
         return _cmd_sweep(args.benchmarks, args.jobs, args.configs, args.plot,
-                          _evaluation_settings(args))
+                          _evaluation_settings(args), cache_stats=args.cache_stats)
     return 2
 
 
@@ -210,9 +231,10 @@ def _cmd_profile(benchmark: str) -> int:
 
 
 def _cmd_design(benchmark: str, buses: Optional[int], trials: int,
-                alloc_strategy: str = "bfs-greedy") -> int:
+                alloc_strategy: str = "bfs-greedy", screening: bool = True) -> int:
     circuit = get_benchmark(benchmark)
-    flow = DesignFlow(circuit, DesignOptions(allocation_strategy=alloc_strategy))
+    flow = DesignFlow(circuit, DesignOptions(allocation_strategy=alloc_strategy,
+                                             frequency_screening=screening))
     simulator = YieldSimulator(trials=trials, seed=7)
     architectures = (
         flow.design_series() if buses is None else [flow.design(max_four_qubit_buses=buses)]
@@ -234,14 +256,33 @@ def _print_result(result, plot: bool) -> None:
     print()
 
 
+def _print_cache_stats(stats: dict, note: Optional[str] = None) -> None:
+    """The ``--cache-stats`` session report, one line per cache/stage."""
+    print("cache stats:")
+    if not stats:
+        print("  (no caches ran in this process)")
+    for name in sorted(stats):
+        values = stats[name]
+        lookups = values["hits"] + values["misses"]
+        rate = values["hits"] / lookups if lookups else 0.0
+        print(
+            f"  {name:<18} entries={values['entries']:<5} "
+            f"hits={values['hits']:<6} misses={values['misses']:<6} "
+            f"hit-rate={rate:.1%}"
+        )
+    if note:
+        print(f"  note: {note}")
+
+
 def _cmd_sweep(
     benchmarks: List[str],
     jobs: int,
     config_values: Optional[List[str]],
     plot: bool,
     settings: EvaluationSettings,
+    cache_stats: bool = False,
 ) -> int:
-    from repro.evaluation.parallel import save_worker_routing_cache
+    from repro.evaluation.parallel import save_worker_routing_cache, worker_cache_stats
 
     # Canonicalize up front: fails fast on unknown names (before forking
     # workers) and collapses aliases/duplicates onto the sweep's keys.
@@ -252,25 +293,26 @@ def _cmd_sweep(
         else DEFAULT_CONFIGS
     )
     results = run_sweep(names, jobs=jobs, settings=settings, configs=configs)
-    # In-process sweeps (--jobs 1) accumulate routing results here; persist
-    # them so later invocations — serial or sharded — start warm.  (The
-    # design cache needs no such step: generation tasks merge their plans
-    # from inside the workers, for every --jobs count.)
-    routing_cache = settings.routing_cache_path
-    if save_worker_routing_cache(settings) is None and routing_cache and jobs > 1:
-        print(
-            f"repro-design: note: --jobs {jobs} workers warm-loaded "
-            f"{routing_cache} but routed in their own processes; run once "
-            "with --jobs 1 to refresh the cache file",
-            file=sys.stderr,
-        )
+    # Both caches merge from inside the workers after every task, so the
+    # files are complete for every --jobs count; this final call only
+    # rewrites if an in-process engine somehow still holds unmerged
+    # results (it skips the file entirely otherwise).
+    save_worker_routing_cache(settings)
     for name in names:
         _print_result(results[name], plot)
+    if cache_stats:
+        _print_cache_stats(
+            worker_cache_stats(settings),
+            note=(
+                f"--jobs {jobs} ran its engines in worker processes; "
+                "per-worker counters are not aggregated here"
+            ) if jobs > 1 else None,
+        )
     return 0
 
 
 def _cmd_evaluate(benchmarks: List[str], settings: EvaluationSettings,
-                  plot: bool) -> int:
+                  plot: bool, cache_stats: bool = False) -> int:
     from repro.evaluation.experiment import design_engine_for
     from repro.mapping import RoutingEngine
 
@@ -295,6 +337,13 @@ def _cmd_evaluate(benchmarks: List[str], settings: EvaluationSettings,
     if settings.design_cache_path and \
             design_engine.frequency_cache.misses > design_misses:
         design_engine.frequency_cache.merge_save(settings.design_cache_path)
+    if cache_stats:
+        stats = {"routing": engine.cache.stats()}
+        stats.update(
+            (f"design/{stage}", values)
+            for stage, values in design_engine.stats().items()
+        )
+        _print_cache_stats(stats)
     return 0
 
 

@@ -17,10 +17,19 @@ from repro.collision.conditions import (
     find_collisions,
 )
 from repro.collision.yield_simulator import (
+    ScreenedCounts,
     YieldEstimate,
     YieldSimulator,
     collision_index_arrays,
     estimate_yield,
+)
+from repro.collision.screening import (
+    SCREENING_EPSILON,
+    ScreeningBounds,
+    reset_screening_stats,
+    screen_candidate_bounds,
+    screening_applicable,
+    screening_stats,
 )
 from repro.collision.analytic import (
     AnalyticYieldEstimate,
@@ -43,6 +52,13 @@ __all__ = [
     "find_collisions",
     "YieldSimulator",
     "YieldEstimate",
+    "ScreenedCounts",
+    "ScreeningBounds",
+    "SCREENING_EPSILON",
     "collision_index_arrays",
     "estimate_yield",
+    "reset_screening_stats",
+    "screen_candidate_bounds",
+    "screening_applicable",
+    "screening_stats",
 ]

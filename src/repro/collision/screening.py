@@ -1,0 +1,610 @@
+"""Exact interval-count screening of Algorithm 3 candidate frequencies.
+
+The frequency-allocation hot loop ranks every candidate frequency of one
+scanned qubit by the joint Monte Carlo failure count of its local
+collision region.  The joint kernel costs ``O(candidates x trials x
+connections)`` — it materializes every (candidate, trial, connection)
+frequency difference.  This module computes provably correct *per-event
+interval counts* that bound — and almost always pin exactly — every
+candidate's joint count in ``O(trials log trials + candidates)``, so the
+expensive joint kernel only runs on the rare candidates the bounds
+cannot decide.
+
+**Why per-event failure sets are intervals.**  Fix the common-random-
+numbers noise tensor and look at one collision event — one condition
+family on one pair or triple of the local region.  Every such condition
+depends on the scanned qubit's candidate frequency ``f`` through a
+single monotone expression (``f`` enters each frequency difference
+exactly once), so for each trial the set of candidate frequencies
+violating the condition is an *interval* on the ``f`` axis: a
+trial-specific shift of a constant threshold interval.
+
+**From intervals to exact joint counts.**  The joint count ``J(f)`` is
+the number of trials in which ``f`` lies in the *union* of that trial's
+violating intervals.  Events that do not involve ``f`` at all
+(spectator-spectator conditions of triples centred on the scanned
+qubit) fail identical trial sets for every candidate: those trials are
+counted once and removed.  For the remaining trials the per-trial union
+is merged — sort each trial's interval endpoints, sweep a running
+maximum — into *disjoint* components, after which counting becomes a
+global prefix-sum over sorted endpoints: a candidate is inside exactly
+``#{component lows < f} - #{component highs <= f}`` components, and
+because components are disjoint within a trial that sum over all trials
+*is* the number of failing trials.  No per-candidate work ever touches
+the trial axis.
+
+Regions with a single event family skip the merge entirely: one
+family's intervals are pairwise disjoint by construction
+(:func:`screening_applicable` checks the threshold geometry), so the
+family's translated endpoint counts are already exact.
+
+**Floating-point safety.**  The joint kernel evaluates conditions with
+float arithmetic whose rounding differs from the interval-endpoint
+arithmetic by a bounded amount (a few ULPs — ~1e-15 GHz — on the
+float64 single-family path; ~1e-6 GHz on the float32 merged-matrix
+path).  Every count is therefore computed twice: once with intervals
+*widened* by the path's epsilon (:data:`SINGLE_FAMILY_EPSILON` or
+:data:`SCREENING_EPSILON`, both far above the respective rounding and
+far below the 1e-2 GHz candidate grid step), giving an upper bound
+``J+``, and once *narrowed* by it, giving a lower bound ``J-``.  A
+candidate within epsilon of a condition boundary gets ``J- < J+`` and
+is handed to the joint kernel instead of being trusted to the bounds;
+everywhere else ``J- == J+`` pins the joint count exactly.
+Correctness never depends on the epsilon being tight, only on it
+exceeding the path's rounding error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.collision.conditions import CollisionThresholds
+
+#: Safety margin (GHz) between the interval-count arithmetic and the joint
+#: kernel's float rounding.  The merged-interval matrices are built in
+#: float32 (they are sort/scan bound), whose worst-case accumulated
+#: rounding near 5.3 GHz is ~1e-6 GHz; the margin sits several times
+#: above that and three decades below the 1e-2 GHz candidate grid step.
+SCREENING_EPSILON = 5e-6
+
+#: Margin used by the float64 single-family fast path, whose endpoint
+#: arithmetic rounds at ~1e-15 GHz.  The tighter margin keeps the
+#: single-family bounds exact for essentially every candidate.
+SINGLE_FAMILY_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class ScreeningBounds:
+    """Per-candidate bounds on the joint failed-trial count of one region.
+
+    Attributes:
+        lower: ``(num_candidates,)`` int64 — for every candidate, a count
+            the joint kernel is *guaranteed* to reach (the narrowed
+            merged-interval count).
+        upper: ``(num_candidates,)`` int64 — a count the joint kernel is
+            guaranteed not to exceed (the widened merged-interval count).
+            Bounds agree — pinning the joint count exactly — unless the
+            candidate sits within :data:`SCREENING_EPSILON` of a
+            condition boundary.
+        events: Number of distinct collision event families screened
+            (deduplicated interval families plus the constant event).
+    """
+
+    lower: np.ndarray
+    upper: np.ndarray
+    events: int
+
+    @property
+    def exact(self) -> np.ndarray:
+        """Boolean mask of candidates whose joint count the bounds pin."""
+        return self.lower == self.upper
+
+
+def screening_applicable(
+    delta_ghz: float,
+    thresholds: CollisionThresholds,
+    epsilon: float = SCREENING_EPSILON,
+) -> bool:
+    """Whether the interval geometry supports exact per-event counts.
+
+    Within one event family the member intervals must stay pairwise
+    disjoint (the single-family fast path sums their counts) and every
+    interval must keep positive width after the ``epsilon`` narrowing.
+    The paper's constants satisfy every gap by an order of magnitude;
+    exotic threshold configurations (which also defeat the folded joint
+    kernel) simply disable screening.
+    """
+    t = thresholds
+    if not delta_ghz < 0.0:
+        return False
+    margin = 4.0 * epsilon
+    c2 = -delta_ghz / 2.0
+    c34 = -delta_ghz - t.condition_3_ghz
+    c6 = -delta_ghz
+    widths = (
+        t.condition_1_ghz, t.condition_2_ghz, t.condition_3_ghz,
+        t.condition_5_ghz, t.condition_6_ghz, t.condition_7_ghz,
+    )
+    return (
+        min(widths) > margin
+        # pair family: (-t1, t1), +-(c2 -+ t2), |x| > c34 stay disjoint
+        and t.condition_1_ghz + margin < c2 - t.condition_2_ghz
+        and c2 + t.condition_2_ghz + margin < c34
+        # spectator family: (-t5, t5) vs +-(c6 -+ t6)
+        and t.condition_5_ghz + margin < c6 - t.condition_6_ghz
+    )
+
+
+def _interval_families(
+    qubit_index: int,
+    base: np.ndarray,
+    pairs: np.ndarray,
+    triples: np.ndarray,
+    noise: np.ndarray,
+    delta_ghz: float,
+    thresholds: CollisionThresholds,
+) -> Tuple[List[Tuple[np.ndarray, Tuple[Tuple[float, float], ...]]], Optional[np.ndarray]]:
+    """The region's deduplicated interval families and constant-event mask.
+
+    Each family is ``(shifts, intervals)``: on trial ``t`` the family's
+    conditions are violated exactly when ``f - shifts[t]`` lies in one of
+    the ``intervals`` (constant, pairwise disjoint).  Families reached
+    through several collision events — e.g. the spectator-difference
+    conditions of two triples sharing the same spectator pair — are
+    emitted once: duplicates change no union.
+
+    The returned mask (or None) marks trials failing a *constant* event:
+    spectator-spectator conditions of triples centred on the scanned
+    qubit, which involve only assigned qubits and therefore fail the
+    same trials for every candidate.  It is computed with the joint
+    kernel's own arithmetic, so it is bit-exact, not epsilon-bounded.
+    """
+    t = thresholds
+    c2 = -delta_ghz / 2.0
+    c34 = -delta_ghz - t.condition_3_ghz
+    c6 = -delta_ghz
+    inf = np.inf
+
+    # Pair conditions 1-4 folded onto the signed difference axis x:
+    # x in (-t1, t1) u +-(c2 -+ t2, c2 +- t2) u {|x| > c34}.  The set is
+    # symmetric in x, so the scanned qubit's position in the pair (x =
+    # +-(f - shift)) never matters.
+    pair_intervals = (
+        (-t.condition_1_ghz, t.condition_1_ghz),
+        (c2 - t.condition_2_ghz, c2 + t.condition_2_ghz),
+        (-c2 - t.condition_2_ghz, -c2 + t.condition_2_ghz),
+        (c34, inf),
+        (-inf, -c34),
+    )
+    # Triple conditions 5-6 on the spectator difference x = f_i - f_k
+    # (also symmetric in x).
+    spectator_intervals = (
+        (-t.condition_5_ghz, t.condition_5_ghz),
+        (c6 - t.condition_6_ghz, c6 + t.condition_6_ghz),
+        (-c6 - t.condition_6_ghz, -c6 + t.condition_6_ghz),
+    )
+
+    q = int(qubit_index)
+    families: Dict[Tuple, Tuple[np.ndarray, Tuple[Tuple[float, float], ...]]] = {}
+    const_mask: Optional[np.ndarray] = None
+
+    for a, b in pairs:
+        other = int(b) if int(a) == q else int(a)
+        # x = (f + noise_q) - (base_other + noise_other):
+        # f - shift_t in interval  <=>  x in interval.
+        key = ("pair", other)
+        if key not in families:
+            shifts = base[other] + noise[:, other] - noise[:, q]
+            families[key] = (shifts, pair_intervals)
+
+    for j, i, k in triples:
+        j, i, k = int(j), int(i), int(k)
+        if q == j:
+            # Conditions 5-6 involve only the two (assigned) spectators:
+            # a constant event, evaluated with the kernel's arithmetic.
+            diff = np.abs((base[i] - base[k]) + (noise[:, i] - noise[:, k]))
+            hit = diff < t.condition_5_ghz
+            hit |= np.abs(diff - c6) < t.condition_6_ghz
+            const_mask = hit if const_mask is None else (const_mask | hit)
+            # Condition 7: |2(f + n_j) + delta - f_i^s - f_k^s| < t7
+            # <=>  f - shift_t in (-t7/2, t7/2).
+            key = ("c7-centre", min(i, k), max(i, k))
+            if key not in families:
+                shifts = 0.5 * (
+                    (base[i] + base[k] - delta_ghz)
+                    + (noise[:, i] + noise[:, k] - 2.0 * noise[:, q])
+                )
+                families[key] = (
+                    shifts, ((-0.5 * t.condition_7_ghz, 0.5 * t.condition_7_ghz),)
+                )
+        else:
+            other = k if q == i else i
+            # Spectator difference x = +-(f + noise_q - f_other^s).
+            key = ("spectator", other)
+            if key not in families:
+                shifts = base[other] + noise[:, other] - noise[:, q]
+                families[key] = (shifts, spectator_intervals)
+            # Condition 7 with the scanned qubit as a spectator:
+            # |2 f_j^s + delta - f_other^s - (f + n_q)| < t7
+            # <=>  f - shift_t in (-t7, t7).
+            key = ("c7-spectator", j, other)
+            if key not in families:
+                shifts = (
+                    (2.0 * base[j] + delta_ghz - base[other])
+                    + (2.0 * noise[:, j] - noise[:, other] - noise[:, q])
+                )
+                families[key] = (
+                    shifts, ((-t.condition_7_ghz, t.condition_7_ghz),)
+                )
+
+    return list(families.values()), const_mask
+
+
+class _CandidateBins:
+    """Maps interval endpoints to per-candidate membership counts.
+
+    ``counts(lows, highs)`` returns ``#{j : lows[j] < f < highs[j]}``
+    for every candidate ``f`` of the (ascending) grid.  Valid for any
+    interval collection with ``lows[j] < highs[j]`` (the identity
+    ``[lo < f < hi] = [lo < f] - [hi <= f]`` holds per interval); when
+    the intervals are pairwise disjoint within a trial, summing over a
+    trial's intervals counts membership in their union.
+
+    No endpoint is ever sorted: each lands in a candidate bin — by a
+    multiply-floor on the uniform allocator grid, or one
+    ``searchsorted`` against the few-dozen-entry grid otherwise — and a
+    cumulative histogram turns bins into per-candidate counts.  The grid
+    and the binning arithmetic stay in float64, so binning adds rounding
+    far below even :data:`SINGLE_FAMILY_EPSILON`; float32 *endpoint*
+    arrays (the merged path's matrices) are covered by the larger
+    :data:`SCREENING_EPSILON` their path uses.  Exact grid/endpoint
+    coincidences therefore always stay inside the widened/narrowed
+    uncertainty the caller accounts for.
+    """
+
+    def __init__(self, candidates: np.ndarray) -> None:
+        self.num = candidates.shape[0]
+        self.candidates = np.asarray(candidates, dtype=float)
+        steps = np.diff(self.candidates)
+        self.uniform = steps.size > 0 and bool(
+            (np.abs(steps - steps[0]) < 1e-9 * max(1.0, abs(steps[0]))).all()
+        )
+        if self.uniform:
+            self.origin = float(self.candidates[0])
+            self.inverse_step = float(1.0 / steps[0])
+
+    def _start_bins(self, lows: np.ndarray) -> np.ndarray:
+        """Per endpoint: the first candidate index with ``f > lo``."""
+        if not self.uniform:
+            return np.searchsorted(self.candidates, lows, side="right")
+        raw = np.floor((lows - self.origin) * self.inverse_step) + 1.0
+        return np.clip(raw, 0, self.num).astype(np.int64)
+
+    def _end_bins(self, highs: np.ndarray) -> np.ndarray:
+        """Per endpoint: the first candidate index with ``f >= hi``."""
+        if not self.uniform:
+            return np.searchsorted(self.candidates, highs, side="left")
+        raw = np.ceil((highs - self.origin) * self.inverse_step)
+        return np.clip(raw, 0, self.num).astype(np.int64)
+
+    def counts(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
+        num = self.num
+        # [lo_j < f_c]  <=>  c >= start_bin_j;  [hi_j <= f_c]  <=>  c >= end_bin_j.
+        started = np.cumsum(
+            np.bincount(self._start_bins(lows), minlength=num + 1)[:num]
+        )
+        ended = np.cumsum(
+            np.bincount(self._end_bins(highs), minlength=num + 1)[:num]
+        )
+        return started - ended
+
+    def bound_counts(
+        self, lows: np.ndarray, highs: np.ndarray, epsilon
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """(upper, lower) membership counts of intervals widened and
+        narrowed by ``epsilon``, in one fused binning pass (the widened
+        and narrowed endpoint arrays share segmented histograms)."""
+        num = self.num
+        size = lows.shape[0]
+        start_bins = self._start_bins(np.concatenate((lows - epsilon, lows + epsilon)))
+        end_bins = self._end_bins(np.concatenate((highs + epsilon, highs - epsilon)))
+        start_bins[size:] += num + 1
+        end_bins[size:] += num + 1
+        started = np.bincount(
+            start_bins, minlength=2 * (num + 1)
+        ).reshape(2, num + 1)[:, :num].cumsum(axis=1)
+        ended = np.bincount(
+            end_bins, minlength=2 * (num + 1)
+        ).reshape(2, num + 1)[:, :num].cumsum(axis=1)
+        diff = started - ended
+        return diff[0], diff[1]
+
+
+def _single_family_counts(
+    bins: _CandidateBins,
+    family: Tuple[np.ndarray, Tuple[Tuple[float, float], ...]],
+    epsilon: float = SINGLE_FAMILY_EPSILON,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(lower, upper) counts for a region with one interval family.
+
+    One family's intervals are pairwise disjoint, so its translated
+    endpoint counts — all intervals batched into one broadcast and two
+    binning passes — are the exact union count; no merge needed.  The
+    arithmetic stays in float64, so the tight
+    :data:`SINGLE_FAMILY_EPSILON` applies and the bounds pin the joint
+    count for essentially every candidate.
+    """
+    shifts, intervals = family
+    xlo = np.array([pair[0] for pair in intervals])
+    xhi = np.array([pair[1] for pair in intervals])
+    lows = (shifts[:, None] + xlo[None, :]).ravel()
+    highs = (shifts[:, None] + xhi[None, :]).ravel()
+    upper, lower = bins.bound_counts(lows, highs, epsilon)
+    # Narrowed counts of an empty narrowed interval cannot go negative
+    # here (widths exceed 2 * epsilon by screening_applicable), but the
+    # sum over intervals is clamped for symmetry with the merged path.
+    np.maximum(lower, 0, out=lower)
+    return lower, upper
+
+
+def _merged_counts(
+    bins: _CandidateBins,
+    families: Sequence[Tuple[np.ndarray, Tuple[Tuple[float, float], ...]]],
+    epsilon: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(lower, upper) merged-union counts across several interval families.
+
+    Builds the ``(trials, total_intervals)`` endpoint matrices (float32
+    — the pass is sort/scan bound, and :data:`SCREENING_EPSILON` sits
+    several times above float32 rounding at band frequencies), sorts
+    each trial's intervals by their low endpoint, and merges overlaps
+    with a running maximum of high endpoints into *disjoint* components.
+    Counting those components with endpoints pushed ``epsilon`` outward
+    yields the exact size of the *widened* union (an upper bound on the
+    joint kernel's failing-trial count) and pulled ``epsilon`` inward
+    the exact size of the *narrowed* union (a lower bound) — the two
+    agree, pinning the joint count, away from epsilon boundaries.
+
+    One merge decides both spaces: on a trial where every
+    low-vs-previous-high gap clears the ``2 * epsilon`` dispute window,
+    widening or narrowing endpoints flips no merge decision, so the
+    plain components are simultaneously the widened-space and
+    narrowed-space merges.  The rare trials with an in-window gap are
+    excluded and re-merged per space in :func:`_disputed_counts`.
+    """
+    trials = families[0][0].shape[0]
+    num_families = len(families)
+    shift_matrix = np.empty((trials, num_families), dtype=np.float32)
+    family_of_column = []
+    column_lo = []
+    column_hi = []
+    for index, (shifts, intervals) in enumerate(families):
+        shift_matrix[:, index] = shifts
+        for xlo, xhi in intervals:
+            family_of_column.append(index)
+            column_lo.append(xlo)
+            column_hi.append(xhi)
+    gathered = shift_matrix[:, family_of_column]
+    lows = gathered + np.array(column_lo, dtype=np.float32)[None, :]
+    highs = gathered + np.array(column_hi, dtype=np.float32)[None, :]
+
+    order = np.argsort(lows, axis=1)
+    order += (np.arange(trials) * order.shape[1])[:, None]
+    lows = lows.ravel()[order]
+    highs = highs.ravel()[order]
+    running_max = np.maximum.accumulate(highs, axis=1)
+    # Gap between each interval's low and every previous high of its
+    # trial.  Lower-tail intervals put -inf in ``lows``; a finite first
+    # column keeps (-inf) - (-inf) NaNs out.
+    gap = np.empty_like(lows)
+    gap[:, 0] = np.float32(3.0e38)
+    np.subtract(lows[:, 1:], running_max[:, :-1], out=gap[:, 1:])
+
+    eps = np.float32(epsilon)
+    # Merge decisions are shared between the widened and narrowed spaces
+    # whenever the low-vs-previous-high gap clears 2 * epsilon; the
+    # window is tested with an extra epsilon of slack so float32 rounding
+    # of the gap itself can never hide a genuine dispute.
+    window = np.float32(3.0 * epsilon)
+    disputed = (np.abs(gap) <= window).any(axis=1)
+    any_disputed = bool(disputed.any())
+
+    # One merge pass decides the components: an interval starts a new
+    # component when its low clears every previous high, and the
+    # component's high is the running maximum at its last member (the
+    # start condition makes every earlier high smaller, so the running
+    # maximum inside a component is the component's own).  On trials
+    # free of disputes the same components are exactly the widened-space
+    # and narrowed-space merges, so counting them with endpoints pushed
+    # epsilon outward/inward yields the two unions' exact sizes.
+    starts = gap > np.float32(0.0)
+    starts[:, 0] = True
+    if any_disputed:
+        # Trials whose merge decisions sit inside the dispute window are
+        # excluded here and re-merged with per-space margins below.
+        starts &= ~disputed[:, None]
+    ends = np.empty_like(starts)
+    ends[:, :-1] = starts[:, 1:]
+    ends[:, -1] = True
+    if any_disputed:
+        ends[disputed, -1] = False
+    upper, lower = bins.bound_counts(lows[starts], running_max[ends], eps)
+    if any_disputed:
+        upper_d, lower_d = _disputed_counts(
+            bins, lows[disputed], running_max[disputed], gap[disputed], eps
+        )
+        upper += upper_d
+        lower += lower_d
+    # A narrowed component can collapse (or a candidate can sit in a
+    # widened-only sliver); the joint count is never negative and never
+    # below the narrowed count wherever both are meaningful.
+    np.maximum(lower, 0, out=lower)
+    return lower.astype(np.int64), upper.astype(np.int64)
+
+
+def _disputed_counts(
+    bins: _CandidateBins,
+    lows: np.ndarray,
+    running_max: np.ndarray,
+    gap: np.ndarray,
+    eps: np.float32,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(upper, lower) contributions of the dispute-window trials.
+
+    The trials re-merge on a tiny submatrix, each space with its own
+    decision boundary: widened intervals touch when the raw gap is at
+    most ``+2 * eps``, narrowed ones when it is at most ``-2 * eps``.
+    Any margin keeps the *upper* count valid (splitting overlapping
+    widened intervals or bridging disjoint ones only overcounts the
+    widened union, which exceeds the kernel's failing set either way).
+    The *lower* count is only valid when every merge decision is truly
+    resolved, so trials with a gap inside the float32 rounding band of
+    the narrowed boundary surrender their (at most one) count instead
+    of risking an overcount.
+    """
+
+    def merge(low_matrix, max_matrix, gap_matrix, margin, sign):
+        starts = gap_matrix > margin
+        starts[:, 0] = True
+        ends = np.empty_like(starts)
+        ends[:, :-1] = starts[:, 1:]
+        ends[:, -1] = True
+        return bins.counts(
+            low_matrix[starts] - sign * eps, max_matrix[ends] + sign * eps
+        )
+
+    two_eps = np.float32(2.0) * eps
+    upper = merge(lows, running_max, gap, two_eps, np.float32(1.0))
+    # Gaps within float32 rounding of the narrowed decision boundary are
+    # genuinely undecidable; skip those trials in the lower count.
+    undecidable = (np.abs(gap + two_eps) <= np.float32(4e-6)).any(axis=1)
+    decidable = ~undecidable
+    if decidable.any():
+        lower = merge(
+            lows[decidable], running_max[decidable], gap[decidable],
+            -two_eps, np.float32(-1.0),
+        )
+    else:
+        lower = np.zeros(bins.num, dtype=np.int64)
+    return upper, lower
+
+
+def screen_candidate_bounds(
+    candidates: np.ndarray,
+    qubit_index: int,
+    base_frequencies: np.ndarray,
+    pairs: np.ndarray,
+    triples: np.ndarray,
+    noise: np.ndarray,
+    delta_ghz: float,
+    thresholds: CollisionThresholds,
+    epsilon: float = SCREENING_EPSILON,
+) -> ScreeningBounds:
+    """Joint failed-trial count bounds for every candidate frequency.
+
+    Args:
+        candidates: Candidate frequencies of the scanned qubit, in
+            ascending order (the allocator's grid and every subset of it).
+        qubit_index: Column of the scanned qubit in the region arrays.
+        base_frequencies: Designed frequencies of the region's qubits; the
+            scanned qubit's own entry is ignored.
+        pairs: ``(P, 2)`` connected pairs, as region column indices; every
+            pair must contain ``qubit_index``.
+        triples: ``(T, 3)`` collision triples ``(j, i, k)``, as region
+            column indices; every triple must contain ``qubit_index``.
+        noise: ``(trials, region_size)`` CRN fabrication-noise tensor —
+            the same tensor the joint kernel verifies survivors with.
+        delta_ghz: Qubit anharmonicity (must satisfy
+            :func:`screening_applicable` together with ``thresholds``).
+        thresholds: Collision thresholds.
+        epsilon: Float-safety margin (see module docstring).
+    """
+    candidates = np.asarray(candidates, dtype=float)
+    base = np.asarray(base_frequencies, dtype=float)
+    families, const_mask = _interval_families(
+        qubit_index, base, pairs, triples, noise, delta_ghz, thresholds
+    )
+    events = len(families)
+
+    constant = 0
+    if const_mask is not None:
+        events += 1
+        constant = int(const_mask.sum())
+        if constant:
+            # Trials failing a candidate-independent event fail for every
+            # candidate: count them once and keep only the rest, so the
+            # interval unions never double-count them.
+            keep = ~const_mask
+            families = [(shifts[keep], intervals) for shifts, intervals in families]
+
+    # Drop interval columns no trial can land on a candidate: most
+    # families carry carve-outs (the |x| > c34 tails, the far c6 band)
+    # whose translates sit entirely outside the allowed frequency band,
+    # and the merge pass is linear in the columns it has to sort.
+    margin = 4.0 * epsilon
+    band_lo = candidates[0] - margin if candidates.size else 0.0
+    band_hi = candidates[-1] + margin if candidates.size else 0.0
+    in_band = []
+    for shifts, intervals in families:
+        if shifts.size == 0:
+            continue
+        shift_min = shifts.min()
+        shift_max = shifts.max()
+        kept = tuple(
+            (xlo, xhi) for xlo, xhi in intervals
+            if xlo + shift_min < band_hi and xhi + shift_max > band_lo
+        )
+        if kept:
+            in_band.append((shifts, kept))
+    families = in_band
+
+    if not families:
+        lower = np.full(candidates.shape[0], constant, dtype=np.int64)
+        return ScreeningBounds(lower=lower, upper=lower.copy(), events=events)
+    bins = _CandidateBins(candidates)
+    if len(families) == 1:
+        lower, upper = _single_family_counts(bins, families[0])
+    else:
+        lower, upper = _merged_counts(bins, families, epsilon)
+    lower += constant
+    upper += constant
+    return ScreeningBounds(lower=lower, upper=upper, events=events)
+
+
+# ---------------------------------------------------------------------------
+# Process-wide screening instrumentation (mirrors allocation_call_count):
+# the benchmarks and tests read pruned-candidate fractions from here.
+# ---------------------------------------------------------------------------
+
+_STATS: Dict[str, int] = {
+    "calls": 0,        # screened ranking calls
+    "candidates": 0,   # candidates entering screened rankings
+    "exact": 0,        # candidates decided by tight bounds alone
+    "verified": 0,     # candidates verified by the joint kernel
+    "pruned": 0,       # candidates provably discarded without verification
+}
+
+
+def record_screening(candidates: int, exact: int, verified: int, pruned: int) -> None:
+    """Accumulate one screened ranking call into the process-wide stats."""
+    _STATS["calls"] += 1
+    _STATS["candidates"] += candidates
+    _STATS["exact"] += exact
+    _STATS["verified"] += verified
+    _STATS["pruned"] += pruned
+
+
+def screening_stats() -> Dict[str, int]:
+    """Process-wide screening counters (see :func:`record_screening`)."""
+    return dict(_STATS)
+
+
+def reset_screening_stats() -> Dict[str, int]:
+    """Zero the process-wide screening counters; returns the previous values."""
+    previous = dict(_STATS)
+    for key in _STATS:
+        _STATS[key] = 0
+    return previous

@@ -34,6 +34,12 @@ from repro.collision.conditions import (
     pair_collision_mask,
     triple_collision_mask,
 )
+from repro.collision.screening import (
+    ScreeningBounds,
+    record_screening,
+    screen_candidate_bounds,
+    screening_applicable,
+)
 from repro.hardware.architecture import Architecture
 from repro.hardware.frequency import DEFAULT_SIGMA_GHZ
 
@@ -47,6 +53,21 @@ PAPER_TRIAL_COUNT = 10_000
 #: resident in a few hundred KB of cache — larger chunks are memory-bound
 #: and measurably slower.
 DEFAULT_CHUNK_ELEMENTS = 40_000
+
+
+def _ascending_candidates(candidates: np.ndarray) -> np.ndarray:
+    """Validate a screening candidate grid: strictly ascending or bust.
+
+    The screen counts candidates by prefix sums over their order, so an
+    unsorted grid would produce wrong counts silently; rejecting it is
+    cheap (the grids are a few dozen entries).
+    """
+    candidates = np.asarray(candidates, dtype=float)
+    if candidates.size > 1 and not (np.diff(candidates) > 0).all():
+        raise ValueError(
+            "screening candidate frequencies must be strictly ascending"
+        )
+    return candidates
 
 
 @lru_cache(maxsize=1024)
@@ -84,6 +105,33 @@ def collision_index_arrays(
         tuple((int(a), int(b)) for a, b in pairs),
         tuple((int(j), int(i), int(k)) for j, i, k in triples),
     )
+
+
+@dataclass(frozen=True)
+class ScreenedCounts:
+    """Result of a screened candidate ranking (see
+    :meth:`YieldSimulator.screened_failure_counts`).
+
+    Attributes:
+        counts: ``(num_candidates,)`` int64 failed-trial counts.  Exact
+            (bit-identical to the joint kernel) wherever ``known`` is
+            True; a valid *lower bound* elsewhere.
+        known: Boolean mask of candidates whose count is exact.  Every
+            candidate achieving the minimum joint count is guaranteed
+            known, so ``counts[known].min()`` is the true minimum and the
+            tie set ``known & (counts == counts[known].min())`` is exactly
+            the unscreened tie set.
+        bounds: The interval-count bounds the screen derived (None when
+            the ranking bypassed screening entirely).
+        verified: How many candidate rows ran through the joint kernel.
+        pruned: How many candidates were provably discarded unverified.
+    """
+
+    counts: np.ndarray
+    known: np.ndarray
+    bounds: Optional[ScreeningBounds]
+    verified: int
+    pruned: int
 
 
 @dataclass(frozen=True)
@@ -190,12 +238,14 @@ class YieldSimulator:
         vectorized pass, chunked so that no intermediate tensor exceeds
         ``max_chunk_elements`` elements.
 
-        A batch of size one returns exactly what
-        :meth:`estimate_from_arrays` returns for that row.  Larger batches
-        share the noise draw across candidates and factor each pair/triple
-        frequency difference into a designed part (per candidate) and a
-        noise part (computed once per batch), so batched sweeps replace
-        sequential candidate loops at a fraction of the cost.
+        Every batch size — including one — runs through the same chunked
+        :meth:`failure_counts` kernel, so a row's estimate is
+        bit-identical whether it is submitted alone or inside any larger
+        batch.  Batches share the noise draw across candidates and factor
+        each pair/triple frequency difference into a designed part (per
+        candidate) and a noise part (computed once per batch), so batched
+        sweeps replace sequential candidate loops at a fraction of the
+        cost.
 
         Args:
             frequencies_batch: ``(num_candidates, num_qubits)`` designed
@@ -209,19 +259,8 @@ class YieldSimulator:
         Returns:
             One :class:`YieldEstimate` per candidate row, in order.
         """
-        frequencies_batch = np.atleast_2d(np.asarray(frequencies_batch, dtype=float))
-        num_candidates, num_qubits = frequencies_batch.shape
-        pairs_array, triples_array = collision_index_arrays(pairs, triples)
-        if pairs_array.size == 0 and triples_array.size == 0:
-            # Degenerate topology (e.g. a single-qubit region): nothing can
-            # collide, every fabrication succeeds.
-            return [self._estimate_from_successes(self.trials)] * num_candidates
-        if num_candidates == 1:
-            return [
-                self.estimate_from_arrays(frequencies_batch[0], pairs_array, triples_array)
-            ]
         counts = self.failure_counts(
-            frequencies_batch, pairs_array, triples_array,
+            frequencies_batch, pairs, triples,
             max_chunk_elements=max_chunk_elements,
         )
         return [
@@ -271,6 +310,153 @@ class YieldSimulator:
             )
         return self._failure_counts_folded(
             frequencies_batch, pairs_array, triples_array, noise, max_chunk_elements
+        )
+
+    def screening_enabled(self) -> bool:
+        """Whether screened candidate rankings use the interval fast path.
+
+        Requires both the folded joint kernel (the ground truth screened
+        survivors are verified against) and the disjoint-interval
+        geometry of :func:`repro.collision.screening.screening_applicable`.
+        When False, :meth:`screened_failure_counts` silently degrades to
+        the full joint kernel — results are identical either way.
+        """
+        return self._foldable_thresholds() and screening_applicable(
+            self.delta_ghz, self.thresholds
+        )
+
+    def candidate_failure_bounds(
+        self,
+        candidates: np.ndarray,
+        qubit_index: int,
+        base_frequencies: np.ndarray,
+        pairs: Sequence[Tuple[int, int]],
+        triples: Sequence[Tuple[int, int, int]],
+        noise: Optional[np.ndarray] = None,
+    ) -> ScreeningBounds:
+        """Per-candidate interval-count bounds for one scanned qubit.
+
+        The raw bound layer of :meth:`screened_failure_counts`: for every
+        candidate frequency of the qubit at ``qubit_index``, exact
+        per-event failed-trial counts are combined into a lower bound
+        (max over events) and an upper bound (sum over events) on the
+        joint failure count the kernel of :meth:`failure_counts` would
+        report.  Only valid when :meth:`screening_enabled` is True.
+        """
+        if not self.screening_enabled():
+            raise ValueError(
+                "interval screening is not applicable to these thresholds; "
+                "check screening_enabled() before asking for bounds"
+            )
+        candidates = _ascending_candidates(candidates)
+        base = np.asarray(base_frequencies, dtype=float)
+        pairs_array, triples_array = collision_index_arrays(pairs, triples)
+        if noise is None:
+            noise = self._draw_noise(base.shape[0])
+        return screen_candidate_bounds(
+            candidates, qubit_index, base, pairs_array, triples_array,
+            noise, self.delta_ghz, self.thresholds,
+        )
+
+    def screened_failure_counts(
+        self,
+        candidates: np.ndarray,
+        qubit_index: int,
+        base_frequencies: np.ndarray,
+        pairs: Sequence[Tuple[int, int]],
+        triples: Sequence[Tuple[int, int, int]],
+        noise: Optional[np.ndarray] = None,
+        max_chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    ) -> ScreenedCounts:
+        """Screen-then-verify failed-trial counts for one scanned qubit.
+
+        The fast path of the Algorithm 3 candidate ranking: instead of
+        running the joint kernel on every candidate row, interval-count
+        bounds (:meth:`candidate_failure_bounds`) first decide candidates
+        whose bounds coincide, then one incumbent (the smallest upper
+        bound) is verified exactly, and every candidate whose *lower*
+        bound exceeds the incumbent's exact count is discarded — provably
+        worse, so never the winner under any tie-break that only inspects
+        minimum-count candidates.  The joint kernel runs only on the
+        surviving, still-undecided rows.
+
+        The result is bit-identical to ranking with
+        :meth:`failure_counts` wherever it matters: every candidate
+        achieving the minimum count is ``known`` with its exact joint
+        count.  When :meth:`screening_enabled` is False the method
+        transparently computes every candidate exactly.
+
+        Args:
+            candidates: Candidate frequencies of the scanned qubit, in
+                strictly ascending order (the allocator's grid and every
+                subset of it; the screen's prefix-sum counting depends
+                on it, so other orders are rejected).
+            qubit_index: The scanned qubit's column in the region arrays.
+            base_frequencies: Designed frequencies of the region's qubits
+                (the scanned qubit's entry is ignored).
+            pairs: Local pairs, as region column indices (each contains
+                ``qubit_index``).
+            triples: Local triples ``(j, i, k)``, as region column
+                indices (each contains ``qubit_index``).
+            noise: Optional ``(trials, region_size)`` CRN noise tensor;
+                drawn from this simulator's seed when omitted.
+            max_chunk_elements: Chunk bound for the verification kernel.
+        """
+        candidates = _ascending_candidates(candidates)
+        base = np.asarray(base_frequencies, dtype=float)
+        num_candidates = candidates.shape[0]
+        pairs_array, triples_array = collision_index_arrays(pairs, triples)
+        if pairs_array.size == 0 and triples_array.size == 0:
+            return ScreenedCounts(
+                counts=np.zeros(num_candidates, dtype=np.int64),
+                known=np.ones(num_candidates, dtype=bool),
+                bounds=None, verified=0, pruned=0,
+            )
+        if noise is None:
+            noise = self._draw_noise(base.shape[0])
+
+        def verify(rows: np.ndarray) -> np.ndarray:
+            batch = np.repeat(base[None, :], rows.shape[0], axis=0)
+            batch[:, qubit_index] = candidates[rows]
+            return self.failure_counts(
+                batch, pairs_array, triples_array, noise=noise,
+                max_chunk_elements=max_chunk_elements,
+            )
+
+        if not self.screening_enabled():
+            all_rows = np.arange(num_candidates)
+            return ScreenedCounts(
+                counts=verify(all_rows),
+                known=np.ones(num_candidates, dtype=bool),
+                bounds=None, verified=num_candidates, pruned=0,
+            )
+
+        bounds = screen_candidate_bounds(
+            candidates, qubit_index, base, pairs_array, triples_array,
+            noise, self.delta_ghz, self.thresholds,
+        )
+        counts = bounds.lower.copy()
+        known = bounds.exact.copy()
+        exact_decided = int(known.sum())
+        verified = 0
+        if not known.all():
+            # A candidate whose lower bound exceeds the best upper bound
+            # can never reach the minimum count (J >= lower > min-upper
+            # >= the incumbent's J >= the minimum); everything else that
+            # is still undecided gets one batched joint-kernel pass.
+            threshold = bounds.upper.min()
+            if known.any():
+                threshold = min(threshold, counts[known].min())
+            survivors = np.flatnonzero(~known & (bounds.lower <= threshold))
+            if survivors.size:
+                counts[survivors] = verify(survivors)
+                known[survivors] = True
+                verified = int(survivors.size)
+        pruned = int(num_candidates - known.sum())
+        record_screening(num_candidates, exact_decided, verified, pruned)
+        return ScreenedCounts(
+            counts=counts, known=known, bounds=bounds,
+            verified=verified, pruned=pruned,
         )
 
     def _failure_counts_folded(

@@ -30,6 +30,7 @@ from repro.design.frequency_allocation import (
     allocate_frequencies,
     allocation_call_count,
     reset_allocation_call_count,
+    reset_shared_caches,
     resolve_strategy,
 )
 from repro.design.engine import DesignCache, DesignEngine, StageCache
@@ -53,6 +54,7 @@ __all__ = [
     "allocate_frequencies",
     "allocation_call_count",
     "reset_allocation_call_count",
+    "reset_shared_caches",
     "resolve_strategy",
     "DesignCache",
     "DesignEngine",

@@ -99,6 +99,63 @@ def reset_allocation_call_count() -> int:
     return previous
 
 
+#: Process-wide cache of per-qubit CRN fabrication-noise tensors, keyed by
+#: everything that determines a draw: (base seed, sigma, trials, qubit,
+#: region size).  The tensors are pure functions of the key — a cold
+#: sweep re-derives byte-identical draws for every architecture sharing
+#: an allocator configuration, so serving them from one draw per key
+#: removes a measurable slice of Algorithm 3's cold path without
+#: touching any result.  Entries are read-only; a bounded FIFO keeps
+#: pathological sweeps from growing the cache without limit.
+_NOISE_TENSORS: Dict[Tuple, np.ndarray] = {}
+_NOISE_TENSOR_LIMIT = 256
+
+#: Process-wide memo of local-region ranking winners.  A ranking is a
+#: pure function of its full content key — the scanned qubit (it seeds
+#: the CRN noise), the local connections, the assigned frequencies of
+#: the region, the candidate subset, and every allocator knob the local
+#: simulation reads — so serving a repeat from the memo is bit-identical
+#: to recomputing it.  Bus-count series and random-bus seed clouds
+#: re-rank mostly identical local regions (roughly 40-60% of a cold
+#: evaluation grid's rankings are exact repeats), which makes this the
+#: largest single win on the cold Algorithm 3 path.  Values are a single
+#: float each; a bounded FIFO keeps unbounded exploratory sessions in
+#: check.
+_RANKING_MEMO: Dict[Tuple, float] = {}
+_RANKING_MEMO_LIMIT = 16384
+
+
+def _bounded_put(cache: Dict, limit: int, key: Tuple, value) -> None:
+    """Insert into a process-wide cache, evicting oldest entries first."""
+    while len(cache) >= limit:
+        cache.pop(next(iter(cache)))
+    cache[key] = value
+
+
+def reset_shared_caches() -> None:
+    """Clear the process-wide noise-tensor and ranking-winner caches.
+
+    Both caches hold pure functions of their content keys, so clearing
+    them never changes any result — it only makes the next rankings pay
+    the cold-path cost again.  Benchmarks use this to simulate a fresh
+    process ("a true cold session"), and tests use it to force both
+    sides of an identity comparison to actually compute.
+    """
+    _NOISE_TENSORS.clear()
+    _RANKING_MEMO.clear()
+
+
+def _shared_noise(key: Tuple, sigma_ghz: float, trials: int, qubit: int,
+                  region_size: int) -> np.ndarray:
+    noise = _NOISE_TENSORS.get(key)
+    if noise is None:
+        rng = np.random.default_rng(seed_for("freq-alloc", key[0], qubit))
+        noise = rng.normal(0.0, sigma_ghz, size=(trials, region_size))
+        noise.setflags(write=False)
+        _bounded_put(_NOISE_TENSORS, _NOISE_TENSOR_LIMIT, key, noise)
+    return noise
+
+
 class _AllocationContext:
     """Per-architecture state shared by every allocation strategy.
 
@@ -168,7 +225,7 @@ class _AllocationContext:
             delta_ghz=allocator.delta_ghz,
             thresholds=allocator.thresholds,
         )
-        self._noise_cache: Dict[Tuple[int, int], np.ndarray] = {}
+        self.scorer = _LocalRegionScorer(self)
 
     # -- assignment bookkeeping ------------------------------------------------
 
@@ -230,27 +287,31 @@ class _AllocationContext:
         return local_pairs, local_triples
 
     def noise_for(self, qubit: int, region_size: int) -> np.ndarray:
-        """The qubit's CRN fabrication-noise tensor (drawn once per size).
+        """The qubit's CRN fabrication-noise tensor (drawn once per key).
 
         Seeded exactly as the pre-refactor allocator seeded its per-qubit
         simulator, so a fresh draw and a cached reuse are bit-identical.
         The region size participates in the key because numpy fills
         ``(trials, size)`` tensors in C order: the same seed yields
-        different column contents for different sizes.
+        different column contents for different sizes.  Tensors are
+        served from a process-wide read-only cache: a sweep's many
+        architectures re-request identical draws for every qubit they
+        share with an earlier allocation.
         """
-        key = (qubit, region_size)
-        noise = self._noise_cache.get(key)
-        if noise is None:
-            rng = np.random.default_rng(
-                seed_for("freq-alloc", self.allocator.seed, qubit)
+        allocator = self.allocator
+        if not allocator.shared_caches:
+            rng = np.random.default_rng(seed_for("freq-alloc", allocator.seed, qubit))
+            return rng.normal(
+                0.0, allocator.sigma_ghz,
+                size=(allocator.local_trials, region_size),
             )
-            noise = rng.normal(
-                0.0,
-                self.allocator.sigma_ghz,
-                size=(self.allocator.local_trials, region_size),
-            )
-            self._noise_cache[key] = noise
-        return noise
+        key = (
+            allocator.seed, allocator.sigma_ghz, allocator.local_trials,
+            qubit, region_size,
+        )
+        return _shared_noise(
+            key, allocator.sigma_ghz, allocator.local_trials, qubit, region_size
+        )
 
     def best_frequency(
         self,
@@ -260,6 +321,57 @@ class _AllocationContext:
     ) -> float:
         """The candidate maximizing the qubit's local-region Monte Carlo yield.
 
+        Delegates to this context's :class:`_LocalRegionScorer` (kept as a
+        method so strategies read naturally).
+        """
+        return self.scorer.best_frequency_for(qubit, frequencies, candidate_indices)
+
+
+class _LocalRegionScorer:
+    """Ranks one qubit's candidate frequencies on its local collision region.
+
+    Owns the candidate-ranking half of Algorithm 3's inner loop: assemble
+    the scanned qubit's local region (the assigned qubits it can collide
+    with), score every candidate's joint failed-trial count against the
+    qubit's CRN noise tensor, and apply the documented mid-band
+    tie-break.  Two ranking paths produce bit-identical winners:
+
+    * **screened** (the default) — the exact interval-count bounds of
+      :mod:`repro.collision.screening` decide most candidates outright
+      and provably discard candidates that cannot win; the joint Monte
+      Carlo kernel runs only on the surviving rows
+      (:meth:`~repro.collision.yield_simulator.YieldSimulator.screened_failure_counts`).
+      Winner preservation is exact: every candidate achieving the
+      minimum failure count is verified with its exact joint count, so
+      the tie set — and therefore the tie-break — never changes.
+    * **direct** — the joint kernel scores every candidate
+      (``screening=False``, or threshold geometries the interval screen
+      does not support).
+    """
+
+    def __init__(self, context: "_AllocationContext") -> None:
+        self._context = context
+        allocator = context.allocator
+        self.screening = (
+            allocator.screening and context._simulator.screening_enabled()
+        )
+        self.memoized = allocator.shared_caches
+        # Everything the local simulation reads besides the per-call
+        # region content; part of every ranking-memo key.
+        self._memo_prefix = (
+            allocator.seed, allocator.sigma_ghz, allocator.local_trials,
+            allocator.frequency_step_ghz, allocator.delta_ghz,
+            allocator.thresholds,
+        )
+
+    def best_frequency_for(
+        self,
+        qubit: int,
+        frequencies: Dict[int, float],
+        candidate_indices: Optional[np.ndarray] = None,
+    ) -> float:
+        """The winning candidate frequency for ``qubit``.
+
         Args:
             qubit: The qubit to place in the band.
             frequencies: Current (partial or complete) assignment; the
@@ -268,11 +380,32 @@ class _AllocationContext:
                 to rank (used by pruning strategies); the documented
                 mid-band tie-break applies within the subset.
         """
-        local_pairs, local_triples = self.local_connections(qubit)
+        context = self._context
+        local_pairs, local_triples = context.local_connections(qubit)
         if not local_pairs and not local_triples:
             # Isolated qubit (no assigned neighbour yet): the middle of the
             # band is as good as any other choice.
             return middle_frequency()
+
+        memo_key = None
+        if self.memoized:
+            members: Set[int] = set()
+            for pair in local_pairs:
+                members.update(pair)
+            for triple in local_triples:
+                members.update(triple)
+            members.discard(qubit)
+            memo_key = (
+                self._memo_prefix,
+                qubit,
+                tuple(local_pairs),
+                tuple(local_triples),
+                tuple(frequencies[member] for member in sorted(members)),
+                None if candidate_indices is None else tuple(candidate_indices),
+            )
+            winner = _RANKING_MEMO.get(memo_key)
+            if winner is not None:
+                return winner
 
         region: Set[int] = {qubit}
         for a, b in local_pairs:
@@ -292,28 +425,36 @@ class _AllocationContext:
             dtype=int,
         ).reshape(-1, 3)
 
-        candidates = self.candidates
-        mid_distance = self._mid_distance
+        candidates = context.candidates
+        mid_distance = context._mid_distance
         if candidate_indices is not None:
             candidates = candidates[candidate_indices]
             mid_distance = mid_distance[candidate_indices]
-
-        designed_batch = np.repeat(base[None, :], len(candidates), axis=0)
-        designed_batch[:, qubit_index] = candidates
-        failures = self._simulator.failure_counts(
-            designed_batch,
-            pair_idx,
-            triple_idx,
-            noise=self.noise_for(qubit, len(region_order)),
-        )
+        noise = context.noise_for(qubit, len(region_order))
 
         # Failure counts are integers, so the 1e-12 yield tolerance reduces
         # to exact count equality; the tie set is ranked by mid-band
         # distance, lower frequency first among equally distant candidates
         # (tie indices ascend and argmin returns the first minimum).
-        tie_set = np.flatnonzero(failures == failures.min())
-        winner = tie_set[np.argmin(mid_distance[tie_set])]
-        return float(candidates[winner])
+        if self.screening:
+            screened = context._simulator.screened_failure_counts(
+                candidates, qubit_index, base, pair_idx, triple_idx, noise=noise,
+            )
+            failures, known = screened.counts, screened.known
+            # Every minimum-count candidate is known exactly, so the tie
+            # set over known counts equals the unscreened tie set.
+            tie_set = np.flatnonzero(known & (failures == failures[known].min()))
+        else:
+            designed_batch = np.repeat(base[None, :], len(candidates), axis=0)
+            designed_batch[:, qubit_index] = candidates
+            failures = context._simulator.failure_counts(
+                designed_batch, pair_idx, triple_idx, noise=noise,
+            )
+            tie_set = np.flatnonzero(failures == failures.min())
+        winner = float(candidates[tie_set[np.argmin(mid_distance[tie_set])]])
+        if memo_key is not None:
+            _bounded_put(_RANKING_MEMO, _RANKING_MEMO_LIMIT, memo_key, winner)
+        return winner
 
 
 class AllocationStrategy:
@@ -501,6 +642,19 @@ class FrequencyAllocator:
         strategy: Allocation strategy name or instance (see
             :data:`ALLOCATION_STRATEGIES`).  ``bfs-greedy`` is the
             paper-exact default.
+        screening: Whether candidate rankings use the exact
+            interval-count screening engine
+            (:mod:`repro.collision.screening`) to prune the candidate
+            grid before the joint Monte Carlo kernel runs.  Screening is
+            provably winner-preserving, so the allocation is
+            bit-identical with it on or off — the flag exists as an
+            escape hatch and for benchmarking the cold path.
+        shared_caches: Whether rankings may be served from the
+            process-wide content-keyed caches (CRN noise tensors and
+            local-region ranking winners).  Both are pure functions of
+            their keys, so results are bit-identical with the caches on
+            or off; disabling them exists for benchmarking the
+            uncached cold path.
     """
 
     sigma_ghz: float = DEFAULT_SIGMA_GHZ
@@ -511,6 +665,8 @@ class FrequencyAllocator:
     seed: int = 2020
     refinement_passes: int = 0
     strategy: Union[str, AllocationStrategy] = BfsGreedyStrategy.name
+    screening: bool = True
+    shared_caches: bool = True
 
     def allocate(self, architecture: Architecture) -> Dict[int, float]:
         """Assign a frequency to every qubit of ``architecture``.
@@ -536,6 +692,7 @@ def allocate_frequencies(
     seed: int = 2020,
     refinement_passes: int = 0,
     strategy: Union[str, AllocationStrategy] = BfsGreedyStrategy.name,
+    screening: bool = True,
 ) -> Dict[int, float]:
     """One-call convenience wrapper around :class:`FrequencyAllocator`."""
     allocator = FrequencyAllocator(
@@ -544,5 +701,6 @@ def allocate_frequencies(
         seed=seed,
         refinement_passes=refinement_passes,
         strategy=strategy,
+        screening=screening,
     )
     return allocator.allocate(architecture)

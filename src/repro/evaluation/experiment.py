@@ -67,6 +67,12 @@ class EvaluationSettings:
             design engines warm-load it, so repeated evaluations reuse
             Algorithm 3 frequency plans across processes.  Missing files
             are ignored.
+        screening: Whether Algorithm 3 uses the exact interval-count
+            screening engine (:mod:`repro.collision.screening`) on the
+            cold path.  Screening is winner-preserving — sweep outputs
+            are byte-identical with it on or off, for any job count —
+            so ``False`` (the ``--no-screening`` CLI flag) exists as an
+            escape hatch and benchmark baseline.
     """
 
     yield_trials: int = 10_000
@@ -79,6 +85,7 @@ class EvaluationSettings:
     routing_cache_path: Optional[str] = None
     allocation_strategy: str = "bfs-greedy"
     design_cache_path: Optional[str] = None
+    screening: bool = True
 
     def __post_init__(self) -> None:
         # Fail fast — before any worker forks — on a strategy name no
@@ -205,6 +212,7 @@ def evaluate_benchmark(
             frequency_local_trials=settings.frequency_local_trials,
             engine=design_engine,
             allocation_strategy=settings.allocation_strategy,
+            screening=settings.screening,
         ):
             if architecture.num_qubits < circuit.num_qubits:
                 continue

@@ -93,6 +93,11 @@ _WORKER_ENGINES: Dict[Tuple[SabreParameters, Optional[str]], RoutingEngine] = {}
 #: architectures a sweep enumerates.
 _WORKER_DESIGN_ENGINES: Dict[Optional[str], DesignEngine] = {}
 
+#: Routing-cache miss counts already persisted per worker engine: the
+#: in-worker merge after each evaluation task only rewrites the cache
+#: file when the task actually routed something new.
+_WORKER_MERGED_MISSES: Dict[Tuple[SabreParameters, Optional[str]], int] = {}
+
 
 def _worker_engine(settings: EvaluationSettings) -> RoutingEngine:
     key = (settings.routing, settings.routing_cache_path)
@@ -117,22 +122,53 @@ def _worker_design_engine(settings: EvaluationSettings) -> DesignEngine:
 
 
 def save_worker_routing_cache(settings: EvaluationSettings) -> Optional[int]:
-    """Persist this process's routing results to ``settings.routing_cache_path``.
+    """Persist this process's unmerged routing results, if any remain.
 
-    Returns the number of entries written, or None when the settings name
-    no cache file or this process routed nothing (multi-process sweeps
-    route in their workers; only in-process runs accumulate results
-    here).  The file-level merge is serialized under a per-path lock and
-    the file is rewritten atomically, so concurrent savers sharing one
-    cache path cannot drop each other's entries and the file never
+    Returns the number of entries the cache file holds after a merge, or
+    None when there was nothing to do: the settings name no cache file,
+    this process routed nothing (multi-process sweeps route in their
+    workers), or every result was already merged by the per-task
+    in-worker merges — the common case, which skips the file rewrite
+    entirely.  The file-level merge is serialized under a per-path lock
+    and the file is rewritten atomically, so concurrent savers sharing
+    one cache path cannot drop each other's entries and the file never
     shrinks to one saver's LRU bound.
     """
     if not settings.routing_cache_path:
         return None
-    engine = _WORKER_ENGINES.get((settings.routing, settings.routing_cache_path))
+    key = (settings.routing, settings.routing_cache_path)
+    engine = _WORKER_ENGINES.get(key)
     if engine is None:
         return None
+    misses = engine.cache.misses
+    if misses <= _WORKER_MERGED_MISSES.get(key, 0):
+        return None
+    _WORKER_MERGED_MISSES[key] = misses
     return engine.cache.merge_save(settings.routing_cache_path)
+
+
+def worker_cache_stats(settings: EvaluationSettings) -> Dict[str, Dict[str, int]]:
+    """Cache statistics of this process's worker engines (``--cache-stats``).
+
+    Returns whatever engines this process actually ran: ``routing`` maps
+    to the :class:`~repro.mapping.engine.RoutingCache` counters and
+    ``design`` to the per-stage :meth:`DesignEngine.stats` counters.  An
+    in-process sweep (``--jobs 1``) reports the full session; in a
+    ``--jobs N`` sweep each worker process owns its counters, so the
+    parent's report only covers work it did itself (typically none) —
+    the CLI notes that limitation rather than pretending to aggregate.
+    """
+    stats: Dict[str, Dict[str, int]] = {}
+    engine = _WORKER_ENGINES.get((settings.routing, settings.routing_cache_path))
+    if engine is not None:
+        stats["routing"] = engine.cache.stats()
+    design_engine = _WORKER_DESIGN_ENGINES.get(settings.design_cache_path)
+    if design_engine is not None:
+        stats.update(
+            (f"design/{stage}", values)
+            for stage, values in design_engine.stats().items()
+        )
+    return stats
 
 
 def _generate_task(
@@ -150,6 +186,7 @@ def _generate_task(
         frequency_local_trials=settings.frequency_local_trials,
         engine=engine,
         allocation_strategy=settings.allocation_strategy,
+        screening=settings.screening,
     )
     if settings.design_cache_path and engine.frequency_cache.misses > misses_before:
         # Merge freshly computed frequency plans back immediately: Pool
@@ -165,6 +202,26 @@ def _generate_task(
     ]
 
 
+def _merge_worker_routing_cache(settings: EvaluationSettings, engine: RoutingEngine) -> None:
+    """Persist this worker's new routing results after an evaluation task.
+
+    The design-cache counterpart lives in :func:`_generate_task`; this is
+    the routing-side mirror, giving ``sweep --jobs N`` a complete routing
+    cache file without a separate ``--jobs 1`` refresh pass.  Pool
+    workers have no end-of-sweep hook, so each task merges its own new
+    results; the per-path locked file-level union keeps concurrent
+    workers from dropping each other's entries, and tasks served
+    entirely from cache (no new misses) skip the rewrite.
+    """
+    if not settings.routing_cache_path:
+        return
+    key = (settings.routing, settings.routing_cache_path)
+    misses = engine.cache.misses
+    if misses > _WORKER_MERGED_MISSES.get(key, 0):
+        engine.cache.merge_save(settings.routing_cache_path)
+        _WORKER_MERGED_MISSES[key] = misses
+
+
 def _evaluate_task(
     task: Tuple[str, str, int, Architecture, EvaluationSettings],
 ) -> DataPoint:
@@ -176,10 +233,13 @@ def _evaluate_task(
         sigma_ghz=settings.sigma_ghz,
         seed=sweep_point_seed(settings.yield_seed, benchmark, config_value, arch_index),
     )
-    return evaluate_point(
+    engine = _worker_engine(settings)
+    point = evaluate_point(
         circuit, profile, architecture, ExperimentConfig(config_value), simulator, settings,
-        engine=_worker_engine(settings),
+        engine=engine,
     )
+    _merge_worker_routing_cache(settings, engine)
+    return point
 
 
 class SweepExecutor:

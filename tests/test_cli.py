@@ -91,6 +91,21 @@ class TestParser:
                 )
                 assert args.allocation_strategy == "analytic-guided"
 
+    def test_screening_flag_defaults_on(self):
+        for command in ("design", "evaluate", "sweep"):
+            args = build_parser().parse_args([command, "sym6_145"])
+            assert args.no_screening is False
+
+    def test_no_screening_accepted_everywhere(self):
+        for command in ("design", "evaluate", "sweep"):
+            args = build_parser().parse_args([command, "sym6_145", "--no-screening"])
+            assert args.no_screening is True
+
+    def test_cache_stats_flag(self):
+        for command in ("evaluate", "sweep"):
+            args = build_parser().parse_args([command, "sym6_145", "--cache-stats"])
+            assert args.cache_stats is True
+
 
 class TestCommands:
     def test_list_outputs_all_benchmarks(self, capsys):
@@ -173,3 +188,53 @@ class TestDesignCacheRoundTrip:
                      "--allocation-strategy", "analytic-guided"]) == 0
         ablation = capsys.readouterr().out
         assert ablation != base
+
+
+class TestScreeningAndStatsFlags:
+    FAST = ["--trials", "200", "--local-trials", "60"]
+
+    @staticmethod
+    def _drop_process_caches():
+        """Drop every cache keyed without the screening flag, so the
+        unscreened run actually recomputes instead of replaying the
+        screened run's memoized plans."""
+        from repro.design import reset_shared_caches
+        from repro.evaluation import parallel
+
+        parallel._WORKER_DESIGN_ENGINES.clear()
+        reset_shared_caches()
+
+    def test_no_screening_sweep_output_is_byte_identical(self, capsys):
+        """The acceptance criterion at the CLI surface: screening on vs
+        off produces byte-identical sweep output."""
+        from repro.design import allocation_call_count, reset_allocation_call_count
+
+        base = ["sweep", "sym6_145", *self.FAST, "--configs", "eff-full"]
+        self._drop_process_caches()
+        assert main(base) == 0
+        screened = capsys.readouterr().out
+        self._drop_process_caches()
+        reset_allocation_call_count()
+        assert main([*base, "--no-screening"]) == 0
+        unscreened = capsys.readouterr().out
+        assert allocation_call_count() > 0
+        assert unscreened == screened
+
+    def test_evaluate_cache_stats_report(self, capsys):
+        assert main(["evaluate", "sym6_145", *self.FAST, "--cache-stats"]) == 0
+        output = capsys.readouterr().out
+        assert "cache stats:" in output
+        assert "design/frequency" in output
+        assert "routing" in output
+        assert "hit-rate" in output
+
+    def test_sweep_cache_stats_report_serial_and_sharded(self, capsys):
+        serial = ["sweep", "sym6_145", *self.FAST, "--configs", "eff-layout-only",
+                  "--cache-stats"]
+        assert main(serial) == 0
+        output = capsys.readouterr().out
+        assert "cache stats:" in output
+        assert main([*serial, "--jobs", "2"]) == 0
+        sharded = capsys.readouterr().out
+        assert "cache stats:" in sharded
+        assert "not aggregated" in sharded

@@ -1,0 +1,274 @@
+"""Tests for the exact interval-count screening engine.
+
+Covers three layers:
+
+* the raw bound kernel (:mod:`repro.collision.screening`) — validity and
+  tightness of the per-candidate joint-count bounds against the joint
+  Monte Carlo kernel on randomized local regions;
+* the screen-then-verify entry point
+  (:meth:`~repro.collision.yield_simulator.YieldSimulator.screened_failure_counts`)
+  — the winner-preservation contract: every minimum-count candidate is
+  known with its exact joint count;
+* the allocator integration — Algorithm 3 produces bit-identical plans
+  with screening (and the shared ranking caches) on or off, for every
+  allocation strategy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collision import (
+    CollisionThresholds,
+    YieldSimulator,
+    reset_screening_stats,
+    screening_applicable,
+    screening_stats,
+)
+from repro.design import ALLOCATION_STRATEGIES, FrequencyAllocator
+from repro.hardware import Architecture, Lattice
+from repro.hardware.frequency import candidate_frequencies
+
+
+def random_region(rng, num_qubits=None):
+    """A randomized local region shaped like the allocator's: every pair
+    and triple involves the scanned qubit (column ``q``)."""
+    n = int(num_qubits if num_qubits is not None else rng.integers(2, 7))
+    q = int(rng.integers(0, n))
+    base = np.round(rng.uniform(5.0, 5.34, size=n), 2)
+    others = [i for i in range(n) if i != q]
+    pairs = [((q, o) if rng.random() < 0.5 else (o, q))
+             for o in others if rng.random() < 0.8]
+    triples = []
+    if n >= 3:
+        for _ in range(int(rng.integers(0, 6))):
+            i, k = rng.choice(others, size=2, replace=False)
+            role = rng.random()
+            if role < 0.34:
+                triples.append((q, int(i), int(k)))
+            elif role < 0.67:
+                triples.append((int(i), q, int(k)))
+            else:
+                triples.append((int(i), int(k), q))
+    return q, base, pairs, triples
+
+
+class TestScreeningApplicable:
+    def test_paper_constants_are_applicable(self):
+        simulator = YieldSimulator(trials=100, seed=1)
+        assert screening_applicable(simulator.delta_ghz, simulator.thresholds)
+        assert simulator.screening_enabled()
+
+    def test_positive_anharmonicity_rejected(self):
+        assert not screening_applicable(0.34, CollisionThresholds())
+
+    def test_overlapping_interval_geometry_rejected(self):
+        # A condition-3 threshold wider than |delta| merges the carve-outs;
+        # this also defeats the folded joint kernel.
+        wide = CollisionThresholds(condition_3_ghz=0.5)
+        assert not screening_applicable(-0.34, wide)
+        assert not YieldSimulator(trials=100, seed=1, thresholds=wide).screening_enabled()
+
+    def test_bounds_refused_when_not_applicable(self):
+        simulator = YieldSimulator(
+            trials=100, seed=1, thresholds=CollisionThresholds(condition_3_ghz=0.5)
+        )
+        with pytest.raises(ValueError, match="not applicable"):
+            simulator.candidate_failure_bounds(
+                candidate_frequencies(), 0, np.array([0.0, 5.1]), [(0, 1)], []
+            )
+
+    def test_unsorted_candidates_rejected(self):
+        simulator = YieldSimulator(trials=100, seed=1)
+        descending = candidate_frequencies()[::-1]
+        with pytest.raises(ValueError, match="ascending"):
+            simulator.candidate_failure_bounds(
+                descending, 0, np.array([0.0, 5.1]), [(0, 1)], []
+            )
+        with pytest.raises(ValueError, match="ascending"):
+            simulator.screened_failure_counts(
+                descending, 0, np.array([0.0, 5.1]), [(0, 1)], []
+            )
+
+
+class TestBoundValidity:
+    """The bounds sandwich the joint kernel's counts on random regions."""
+
+    TRIALS = 700
+
+    def test_bounds_contain_joint_counts(self):
+        rng = np.random.default_rng(7)
+        simulator = YieldSimulator(trials=self.TRIALS, sigma_ghz=0.03, seed=3)
+        candidates = candidate_frequencies()
+        checked = 0
+        for case in range(60):
+            q, base, pairs, triples = random_region(rng)
+            if not pairs and not triples:
+                continue
+            noise = np.random.default_rng(case).normal(
+                0.0, 0.03, size=(self.TRIALS, base.shape[0])
+            )
+            batch = np.repeat(base[None, :], candidates.shape[0], axis=0)
+            batch[:, q] = candidates
+            exact = simulator.failure_counts(batch, pairs, triples, noise=noise)
+            bounds = simulator.candidate_failure_bounds(
+                candidates, q, base, pairs, triples, noise=noise
+            )
+            assert (bounds.lower <= exact).all()
+            assert (bounds.upper >= exact).all()
+            checked += 1
+        assert checked > 30
+
+    def test_single_event_regions_are_pinned_exactly(self):
+        """One pair connection: the interval counts are the joint counts."""
+        simulator = YieldSimulator(trials=self.TRIALS, sigma_ghz=0.03, seed=3)
+        candidates = candidate_frequencies()
+        base = np.array([0.0, 5.13])
+        noise = np.random.default_rng(5).normal(0.0, 0.03, size=(self.TRIALS, 2))
+        batch = np.repeat(base[None, :], candidates.shape[0], axis=0)
+        batch[:, 0] = candidates
+        exact = simulator.failure_counts(batch, [(0, 1)], [], noise=noise)
+        bounds = simulator.candidate_failure_bounds(
+            candidates, 0, base, [(0, 1)], [], noise=noise
+        )
+        assert (bounds.lower == exact).all()
+        assert (bounds.upper == exact).all()
+        assert bounds.exact.all()
+
+    def test_candidate_subset_supported(self):
+        """Pruning strategies rank ascending subsets of the grid."""
+        simulator = YieldSimulator(trials=self.TRIALS, sigma_ghz=0.03, seed=3)
+        subset = candidate_frequencies()[::3]
+        base = np.array([0.0, 5.08, 5.2])
+        pairs, triples = [(0, 1), (0, 2)], [(0, 1, 2)]
+        noise = np.random.default_rng(9).normal(0.0, 0.03, size=(self.TRIALS, 3))
+        batch = np.repeat(base[None, :], subset.shape[0], axis=0)
+        batch[:, 0] = subset
+        exact = simulator.failure_counts(batch, pairs, triples, noise=noise)
+        bounds = simulator.candidate_failure_bounds(
+            subset, 0, base, pairs, triples, noise=noise
+        )
+        assert (bounds.lower <= exact).all()
+        assert (bounds.upper >= exact).all()
+
+
+class TestScreenedCounts:
+    """The screen-then-verify contract of ``screened_failure_counts``."""
+
+    TRIALS = 700
+
+    def test_minimum_candidates_always_known_and_exact(self):
+        rng = np.random.default_rng(11)
+        simulator = YieldSimulator(trials=self.TRIALS, sigma_ghz=0.03, seed=3)
+        candidates = candidate_frequencies()
+        for case in range(40):
+            q, base, pairs, triples = random_region(rng)
+            if not pairs and not triples:
+                continue
+            noise = np.random.default_rng(1000 + case).normal(
+                0.0, 0.03, size=(self.TRIALS, base.shape[0])
+            )
+            batch = np.repeat(base[None, :], candidates.shape[0], axis=0)
+            batch[:, q] = candidates
+            exact = simulator.failure_counts(batch, pairs, triples, noise=noise)
+            screened = simulator.screened_failure_counts(
+                candidates, q, base, pairs, triples, noise=noise
+            )
+            minimum = exact.min()
+            # Every minimum-count candidate is known, with the exact count.
+            assert screened.known[exact == minimum].all()
+            assert (screened.counts[screened.known] == exact[screened.known]).all()
+            assert screened.counts[screened.known].min() == minimum
+
+    def test_no_connections_all_zero_and_known(self):
+        simulator = YieldSimulator(trials=200, sigma_ghz=0.03, seed=3)
+        screened = simulator.screened_failure_counts(
+            candidate_frequencies(), 0, np.array([0.0]), [], []
+        )
+        assert (screened.counts == 0).all()
+        assert screened.known.all()
+        assert screened.pruned == 0
+
+    def test_degrades_to_joint_kernel_on_exotic_thresholds(self):
+        simulator = YieldSimulator(
+            trials=200, sigma_ghz=0.03, seed=3,
+            thresholds=CollisionThresholds(condition_3_ghz=0.5),
+        )
+        candidates = candidate_frequencies()
+        base = np.array([0.0, 5.13])
+        screened = simulator.screened_failure_counts(
+            candidates, 0, base, [(0, 1)], []
+        )
+        batch = np.repeat(base[None, :], candidates.shape[0], axis=0)
+        batch[:, 0] = candidates
+        exact = simulator.failure_counts(batch, [(0, 1)], [])
+        assert screened.known.all()
+        assert (screened.counts == exact).all()
+        assert screened.bounds is None
+
+    def test_stats_accumulate_and_reset(self):
+        simulator = YieldSimulator(trials=200, sigma_ghz=0.03, seed=3)
+        reset_screening_stats()
+        simulator.screened_failure_counts(
+            candidate_frequencies(), 0, np.array([0.0, 5.13]), [(0, 1)], []
+        )
+        stats = screening_stats()
+        assert stats["calls"] == 1
+        assert stats["candidates"] == candidate_frequencies().shape[0]
+        previous = reset_screening_stats()
+        assert previous == stats
+        assert screening_stats()["calls"] == 0
+
+
+class TestAllocatorIdentity:
+    """Screening and the shared ranking caches never change a plan."""
+
+    def grid(self, rows, cols):
+        return Architecture.from_layout(f"g{rows}x{cols}", Lattice.rectangle(rows, cols))
+
+    @pytest.mark.parametrize("strategy", sorted(ALLOCATION_STRATEGIES))
+    def test_screening_is_bit_identical_per_strategy(self, strategy):
+        # shared_caches off on both sides: the ranking memo's keys
+        # deliberately exclude the screening flag, so leaving it on would
+        # serve the second run from the first and compare nothing.
+        arch = self.grid(2, 4)
+        screened = FrequencyAllocator(
+            local_trials=500, seed=11, strategy=strategy,
+            screening=True, shared_caches=False,
+        ).allocate(arch)
+        direct = FrequencyAllocator(
+            local_trials=500, seed=11, strategy=strategy,
+            screening=False, shared_caches=False,
+        ).allocate(arch)
+        assert screened == direct
+
+    def test_shared_caches_are_bit_identical(self):
+        from repro.design import reset_shared_caches
+
+        arch = self.grid(3, 3)
+        reset_shared_caches()  # the default path computes fresh, via screening
+        cached = FrequencyAllocator(local_trials=500, seed=7).allocate(arch)
+        uncached = FrequencyAllocator(
+            local_trials=500, seed=7, screening=False, shared_caches=False
+        ).allocate(arch)
+        assert cached == uncached
+
+    def test_ranking_memo_serves_repeat_allocations_identically(self):
+        arch = self.grid(2, 3)
+        allocator = FrequencyAllocator(local_trials=400, seed=11)
+        first = allocator.allocate(arch)
+        # The second allocation is served almost entirely from the
+        # process-wide ranking memo; it must not drift.
+        second = allocator.allocate(arch)
+        assert first == second
+
+    def test_zero_sigma_tie_break_unchanged(self):
+        """sigma = 0 collapses the noise; the documented mid-band
+        tie-break must survive the screened path."""
+        from repro.hardware.frequency import middle_frequency
+
+        arch = Architecture.from_layout("chain", Lattice.rectangle(1, 2))
+        frequencies = FrequencyAllocator(sigma_ghz=0.0, local_trials=10).allocate(arch)
+        center = arch.lattice.central_qubit()
+        other = (set(arch.qubits) - {center}).pop()
+        assert frequencies[center] == pytest.approx(middle_frequency())
+        assert frequencies[other] == pytest.approx(5.15)

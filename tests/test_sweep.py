@@ -119,8 +119,10 @@ class TestRoutingCachePersistence:
         )
         first = run_sweep(["sym6_145"], jobs=1, settings=settings,
                           configs=FAST_CONFIGS)
-        written = save_worker_routing_cache(settings)
-        assert written and path.exists()
+        # The per-task in-worker merges already persisted everything; the
+        # end-of-sweep call reports nothing left to merge.
+        assert path.exists()
+        assert save_worker_routing_cache(settings) is None
 
         # A later invocation warm-loads the persisted results and produces
         # byte-identical output.
@@ -128,6 +130,37 @@ class TestRoutingCachePersistence:
                            configs=FAST_CONFIGS)
         assert point_fingerprint(first["sym6_145"]) == point_fingerprint(
             second["sym6_145"]
+        )
+
+    def test_multi_worker_sweep_leaves_complete_routing_cache(self, tmp_path):
+        """Evaluation tasks merge their routing results from inside the
+        workers, so a --jobs 2 sweep leaves a cache file that serves a
+        subsequent serial run without a single routing miss — the old
+        '--jobs 1 refresh pass' is gone."""
+        from repro.evaluation import parallel
+
+        path = tmp_path / "routing_cache.json"
+        settings = EvaluationSettings(
+            yield_trials=300,
+            frequency_local_trials=80,
+            random_bus_seeds=(1,),
+            routing_cache_path=str(path),
+        )
+        sharded = run_sweep(["sym6_145"], jobs=2, settings=settings,
+                            configs=FAST_CONFIGS)
+        assert path.exists()
+
+        # A fresh process's serial run (simulated by dropping the
+        # process-local engines) warm-loads the file and routes nothing.
+        parallel._WORKER_ENGINES.clear()
+        parallel._WORKER_MERGED_MISSES.clear()
+        serial = run_sweep(["sym6_145"], jobs=1, settings=settings,
+                           configs=FAST_CONFIGS)
+        engine = parallel._WORKER_ENGINES[(settings.routing, str(path))]
+        assert engine.cache.misses == 0
+        assert engine.cache.hits > 0
+        assert point_fingerprint(sharded["sym6_145"]) == point_fingerprint(
+            serial["sym6_145"]
         )
 
     def test_cache_path_does_not_change_results(self, tmp_path):
@@ -183,6 +216,61 @@ class TestAllocationStrategyAblation:
     def test_unknown_strategy_rejected_before_workers_fork(self):
         with pytest.raises(ValueError, match="unknown allocation strategy"):
             EvaluationSettings(allocation_strategy="nope")
+
+
+class TestScreeningIdentity:
+    """--no-screening byte-identity: the interval screen is provably
+    winner-preserving, so whole sweeps agree bit for bit.
+
+    Every process-level cache whose keys deliberately exclude the
+    screening flag (the worker design engines' frequency stage, the
+    allocator's ranking memo and noise tensors) is dropped between the
+    two runs — otherwise the unscreened sweep would be served from the
+    screened sweep's results and the comparison would test nothing.
+    """
+
+    def _settings(self, screening):
+        return EvaluationSettings(
+            yield_trials=300,
+            frequency_local_trials=80,
+            random_bus_seeds=(1,),
+            screening=screening,
+        )
+
+    @staticmethod
+    def _drop_process_caches():
+        from repro.design import reset_shared_caches
+        from repro.evaluation import parallel
+
+        parallel._WORKER_DESIGN_ENGINES.clear()
+        reset_shared_caches()
+
+    def test_screening_off_is_byte_identical_serial(self):
+        from repro.design import allocation_call_count, reset_allocation_call_count
+
+        self._drop_process_caches()
+        on = run_sweep(["sym6_145"], jobs=1, settings=self._settings(True),
+                       configs=FAST_CONFIGS)
+        self._drop_process_caches()
+        reset_allocation_call_count()
+        off = run_sweep(["sym6_145"], jobs=1, settings=self._settings(False),
+                        configs=FAST_CONFIGS)
+        # The unscreened side really recomputed its plans.
+        assert allocation_call_count() > 0
+        assert point_fingerprint(on["sym6_145"]) == point_fingerprint(
+            off["sym6_145"]
+        )
+
+    def test_screening_off_is_byte_identical_sharded(self):
+        self._drop_process_caches()
+        on = run_sweep(["sym6_145"], jobs=3, settings=self._settings(True),
+                       configs=FAST_CONFIGS)
+        self._drop_process_caches()
+        off = run_sweep(["sym6_145"], jobs=3, settings=self._settings(False),
+                        configs=FAST_CONFIGS)
+        assert point_fingerprint(on["sym6_145"]) == point_fingerprint(
+            off["sym6_145"]
+        )
 
 
 class TestDesignCachePersistence:

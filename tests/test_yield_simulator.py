@@ -176,6 +176,62 @@ class TestEstimateBatch:
             simulator.estimate_from_arrays(frequencies, pairs, triples)
         ]
 
+    def test_single_candidate_matches_chunked_batch_kernel(self):
+        """Regression: a batch of one must run through the same chunked
+        kernel as larger batches — bit-identical to its row inside any
+        batch — instead of the old divergent ``estimate_from_arrays``
+        special case."""
+        pairs, triples = self.chain()
+        rng = np.random.default_rng(12)
+        batch = 5.17 + rng.normal(0.0, 0.05, size=(2, 4))
+        simulator = YieldSimulator(trials=900, seed=13)
+        alone = simulator.estimate_batch(batch[:1], pairs, triples)
+        together = simulator.estimate_batch(batch, pairs, triples)
+        assert alone[0] == together[0]
+        # And the raw counts agree with failure_counts directly.
+        counts = simulator.failure_counts(batch[:1], pairs, triples)
+        assert alone[0].successes == simulator.trials - int(counts[0])
+
+    def test_chunk_smaller_than_one_candidate_row(self):
+        """max_chunk_elements below trials x qubits still yields one-row
+        chunks with unchanged results."""
+        pairs, triples = self.chain()
+        rng = np.random.default_rng(5)
+        batch = 5.17 + rng.normal(0.0, 0.05, size=(6, 4))
+        simulator = YieldSimulator(trials=250, seed=8)
+        reference = simulator.failure_counts(batch, pairs, triples)
+        tiny = simulator.failure_counts(batch, pairs, triples, max_chunk_elements=1)
+        assert (tiny == reference).all()
+
+    def test_chunk_exactly_one_candidate_row(self):
+        pairs, triples = self.chain()
+        rng = np.random.default_rng(6)
+        batch = 5.17 + rng.normal(0.0, 0.05, size=(5, 4))
+        trials = 250
+        simulator = YieldSimulator(trials=trials, seed=8)
+        reference = simulator.failure_counts(batch, pairs, triples)
+        one_row = simulator.failure_counts(
+            batch, pairs, triples, max_chunk_elements=trials * batch.shape[1]
+        )
+        assert (one_row == reference).all()
+
+    def test_chunk_not_dividing_candidate_count(self):
+        """7 candidates in chunks of 3 (3 + 3 + 1) match the unchunked run."""
+        pairs, triples = self.chain()
+        rng = np.random.default_rng(7)
+        batch = 5.17 + rng.normal(0.0, 0.05, size=(7, 4))
+        trials = 301  # a trial count that divides nothing in sight
+        simulator = YieldSimulator(trials=trials, seed=8)
+        reference = simulator.failure_counts(batch, pairs, triples)
+        chunked = simulator.failure_counts(
+            batch, pairs, triples, max_chunk_elements=3 * trials * batch.shape[1]
+        )
+        assert (chunked == reference).all()
+        estimates = simulator.estimate_batch(
+            batch, pairs, triples, max_chunk_elements=3 * trials * batch.shape[1]
+        )
+        assert [trials - e.successes for e in estimates] == [int(c) for c in reference]
+
     def test_exotic_thresholds_fall_back_to_generic_kernel(self):
         from repro.collision import CollisionThresholds
 
