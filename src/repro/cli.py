@@ -21,6 +21,7 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.benchmarks.library import BENCHMARK_NAMES, benchmark_info, get_benchmark
+from repro.persistence import BACKENDS, atomic_write_text, parse_store_path
 from repro.collision.yield_simulator import YieldSimulator
 from repro.design.frequency_allocation import ALLOCATION_STRATEGIES
 from repro.design.flow import DesignFlow, DesignOptions
@@ -91,6 +92,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument(
         "--plot", action="store_true", help="also print an ASCII Pareto scatter plot"
+    )
+    sweep_parser.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="sweep checkpoint store: every completed generation/evaluation "
+             "task is recorded into it, so an interrupted sweep can restart "
+             "with --resume (any cache backend; see --cache-backend)",
+    )
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="skip tasks already recorded in the --checkpoint store; the "
+             "resumed sweep's output is byte-identical to an uninterrupted "
+             "run for any --jobs count",
+    )
+    sweep_parser.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="also write the sweep results as a deterministic JSON report "
+             "(byte-identical for any --jobs count, resumed or not)",
     )
     _add_router_arguments(sweep_parser)
     _add_design_arguments(sweep_parser)
@@ -167,6 +185,13 @@ def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
         help="Monte Carlo trials per candidate frequency inside Algorithm 3 "
              "(default: 2000, as in the paper)",
     )
+    group.add_argument(
+        "--cache-backend", default="auto", choices=("auto",) + BACKENDS,
+        help="storage backend for --routing-cache / --design-cache / "
+             "--checkpoint paths without an explicit json:/sharded:/sqlite: "
+             "prefix (default: auto — sniff existing state, else single-file "
+             "JSON)",
+    )
 
 
 def _router_parameters(args: argparse.Namespace) -> SabreParameters:
@@ -177,16 +202,35 @@ def _router_parameters(args: argparse.Namespace) -> SabreParameters:
         raise SystemExit(2) from None
 
 
+def _store_path(path: Optional[str], backend: str) -> Optional[str]:
+    """Apply ``--cache-backend`` to a store path.
+
+    An explicit ``json:`` / ``sharded:`` / ``sqlite:`` prefix on the path
+    always wins; otherwise a non-``auto`` backend choice is encoded as
+    that prefix, so it survives the trip through pickled
+    ``EvaluationSettings`` into every worker process.
+    """
+    if path is None or backend == "auto":
+        return path
+    scheme, _ = parse_store_path(path)
+    if scheme is not None:
+        return path
+    return f"{backend}:{path}"
+
+
 def _evaluation_settings(args: argparse.Namespace) -> EvaluationSettings:
     """The shared ``EvaluationSettings`` of the evaluate/sweep subcommands."""
+    backend = args.cache_backend
     return EvaluationSettings(
         yield_trials=args.trials,
         frequency_local_trials=args.local_trials,
         routing=_router_parameters(args),
-        routing_cache_path=args.routing_cache,
+        routing_cache_path=_store_path(args.routing_cache, backend),
         allocation_strategy=args.allocation_strategy,
-        design_cache_path=args.design_cache,
+        design_cache_path=_store_path(args.design_cache, backend),
         screening=not args.no_screening,
+        checkpoint_path=_store_path(getattr(args, "checkpoint", None), backend),
+        resume=getattr(args, "resume", False),
     )
 
 
@@ -204,8 +248,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_evaluate(args.benchmarks, _evaluation_settings(args), args.plot,
                              cache_stats=args.cache_stats)
     if args.command == "sweep":
+        if args.resume and not args.checkpoint:
+            print("repro-design: error: --resume requires --checkpoint",
+                  file=sys.stderr)
+            return 2
         return _cmd_sweep(args.benchmarks, args.jobs, args.configs, args.plot,
-                          _evaluation_settings(args), cache_stats=args.cache_stats)
+                          _evaluation_settings(args), cache_stats=args.cache_stats,
+                          output=args.output)
     return 2
 
 
@@ -274,6 +323,36 @@ def _print_cache_stats(stats: dict, note: Optional[str] = None) -> None:
         print(f"  note: {note}")
 
 
+def _sweep_report(names: List[str], results: dict) -> str:
+    """The ``sweep --output`` JSON report, deterministically serialized.
+
+    Covers every field of every data point, in sweep enumeration order;
+    the text is byte-identical for any ``--jobs`` count and for resumed
+    vs. uninterrupted runs — the resume tests diff it directly.
+    """
+    import json
+
+    report = {
+        name: [
+            {
+                "benchmark": point.benchmark,
+                "config": point.config.value,
+                "architecture_name": point.architecture_name,
+                "num_qubits": point.num_qubits,
+                "num_connections": point.num_connections,
+                "num_four_qubit_buses": point.num_four_qubit_buses,
+                "yield_rate": point.yield_rate,
+                "total_gates": point.total_gates,
+                "num_swaps": point.num_swaps,
+                "normalized_reciprocal_gates": point.normalized_reciprocal_gates,
+            }
+            for point in results[name].points
+        ]
+        for name in names
+    }
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"
+
+
 def _cmd_sweep(
     benchmarks: List[str],
     jobs: int,
@@ -281,6 +360,7 @@ def _cmd_sweep(
     plot: bool,
     settings: EvaluationSettings,
     cache_stats: bool = False,
+    output: Optional[str] = None,
 ) -> int:
     from repro.evaluation.parallel import save_worker_routing_cache, worker_cache_stats
 
@@ -298,6 +378,8 @@ def _cmd_sweep(
     # rewrites if an in-process engine somehow still holds unmerged
     # results (it skips the file entirely otherwise).
     save_worker_routing_cache(settings)
+    if output:
+        atomic_write_text(output, _sweep_report(names, results))
     for name in names:
         _print_result(results[name], plot)
     if cache_stats:

@@ -203,7 +203,8 @@ class DesignCache(StageCache):
         observe a torn file.  Returns the number of entries written.
         """
         return persistence.write_cache_file(
-            path, self.FORMAT, self.VERSION, self._serialize_entries()
+            path, self.FORMAT, self.VERSION, self._serialize_entries(),
+            key_of=self._record_key, kind="design cache",
         )
 
     def _serialize_entries(self) -> list:

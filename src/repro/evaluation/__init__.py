@@ -7,6 +7,11 @@ rate and total post-mapping gate count — and the analysis helpers compute
 the paper's headline comparisons (Sections 5.3 and 5.4).
 """
 
+from repro.evaluation.checkpoint import (
+    SweepCheckpoint,
+    generation_task_key,
+    point_task_key,
+)
 from repro.evaluation.configs import (
     ExperimentConfig,
     architectures_for_config,
@@ -48,6 +53,9 @@ __all__ = [
     "evaluate_benchmark",
     "evaluate_point",
     "evaluate_suite",
+    "SweepCheckpoint",
+    "generation_task_key",
+    "point_task_key",
     "SweepExecutor",
     "SweepPoint",
     "run_sweep",

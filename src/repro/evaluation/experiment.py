@@ -73,6 +73,17 @@ class EvaluationSettings:
             are byte-identical with it on or off, for any job count —
             so ``False`` (the ``--no-screening`` CLI flag) exists as an
             escape hatch and benchmark baseline.
+        checkpoint_path: Optional path to a sweep checkpoint store (see
+            :class:`~repro.evaluation.checkpoint.SweepCheckpoint`, any
+            :mod:`repro.persistence` backend): workers record every
+            completed generation and evaluation task into it, so an
+            interrupted sweep can be restarted.
+        resume: Skip sweep tasks already recorded in the checkpoint
+            store.  Resume lookups are keyed by content digests of each
+            task's full identity (inputs plus result-affecting
+            settings), so a resumed sweep is byte-identical to an
+            uninterrupted one — and never replays stale results after a
+            settings change.  Requires ``checkpoint_path``.
     """
 
     yield_trials: int = 10_000
@@ -86,6 +97,8 @@ class EvaluationSettings:
     allocation_strategy: str = "bfs-greedy"
     design_cache_path: Optional[str] = None
     screening: bool = True
+    checkpoint_path: Optional[str] = None
+    resume: bool = False
 
     def __post_init__(self) -> None:
         # Fail fast — before any worker forks — on a strategy name no
@@ -93,6 +106,8 @@ class EvaluationSettings:
         from repro.design.frequency_allocation import resolve_strategy
 
         resolve_strategy(self.allocation_strategy)
+        if self.resume and not self.checkpoint_path:
+            raise ValueError("resume=True requires checkpoint_path")
 
 
 def design_engine_for(settings: EvaluationSettings) -> DesignEngine:

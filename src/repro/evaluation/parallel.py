@@ -29,6 +29,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.benchmarks.library import get_benchmark
 from repro.collision.yield_simulator import YieldSimulator
 from repro.design.engine import DesignEngine
+from repro.evaluation.checkpoint import (
+    SweepCheckpoint,
+    generation_task_key,
+    point_task_key,
+)
 from repro.evaluation.configs import ExperimentConfig, architectures_for_config
 from repro.evaluation.experiment import (
     DEFAULT_CONFIGS,
@@ -98,6 +103,13 @@ _WORKER_DESIGN_ENGINES: Dict[Optional[str], DesignEngine] = {}
 #: file when the task actually routed something new.
 _WORKER_MERGED_MISSES: Dict[Tuple[SabreParameters, Optional[str]], int] = {}
 
+#: Process-local sweep checkpoints, one per (path, resume) pair.  On a
+#: resume, each worker snapshots the completed-task records once and
+#: serves every lookup from that snapshot; recordings always go through
+#: the store's locked union merge, so concurrent workers never drop each
+#: other's records.
+_WORKER_CHECKPOINTS: Dict[Tuple[str, bool], SweepCheckpoint] = {}
+
 
 def _worker_engine(settings: EvaluationSettings) -> RoutingEngine:
     key = (settings.routing, settings.routing_cache_path)
@@ -119,6 +131,20 @@ def _worker_design_engine(settings: EvaluationSettings) -> DesignEngine:
         # every worker process starts its generation tasks warm.
         engine = _WORKER_DESIGN_ENGINES.setdefault(key, design_engine_for(settings))
     return engine
+
+
+def _worker_checkpoint(settings: EvaluationSettings) -> Optional[SweepCheckpoint]:
+    if not settings.checkpoint_path:
+        return None
+    key = (settings.checkpoint_path, settings.resume)
+    checkpoint = _WORKER_CHECKPOINTS.get(key)
+    if checkpoint is None:
+        checkpoint = _WORKER_CHECKPOINTS.setdefault(
+            key, SweepCheckpoint(settings.checkpoint_path)
+        )
+        if settings.resume:
+            checkpoint.load()
+    return checkpoint
 
 
 def save_worker_routing_cache(settings: EvaluationSettings) -> Optional[int]:
@@ -175,6 +201,16 @@ def _generate_task(
     task: Tuple[str, str, EvaluationSettings],
 ) -> List[Tuple[str, str, int, Architecture]]:
     benchmark, config_value, settings = task
+    checkpoint = _worker_checkpoint(settings)
+    task_key = None
+    if checkpoint is not None:
+        task_key = generation_task_key(benchmark, config_value, settings)
+        if settings.resume:
+            recorded = checkpoint.generation_rows(task_key)
+            if recorded is not None:
+                # Restored before the design engine even exists: a resumed
+                # generation task runs zero Algorithm 3 searches.
+                return recorded
     circuit = get_benchmark(benchmark)
     config = ExperimentConfig(config_value)
     engine = _worker_design_engine(settings)
@@ -195,11 +231,14 @@ def _generate_task(
         # ``sweep --jobs N`` leaves the cache file complete.  Tasks served
         # entirely warm (no new stage misses) skip the rewrite.
         engine.frequency_cache.merge_save(settings.design_cache_path)
-    return [
+    rows = [
         (benchmark, config_value, index, architecture)
         for index, architecture in enumerate(architectures)
         if architecture.num_qubits >= circuit.num_qubits
     ]
+    if checkpoint is not None:
+        checkpoint.record_generation(task_key, rows)
+    return rows
 
 
 def _merge_worker_routing_cache(settings: EvaluationSettings, engine: RoutingEngine) -> None:
@@ -226,6 +265,18 @@ def _evaluate_task(
     task: Tuple[str, str, int, Architecture, EvaluationSettings],
 ) -> DataPoint:
     benchmark, config_value, arch_index, architecture, settings = task
+    checkpoint = _worker_checkpoint(settings)
+    task_key = None
+    if checkpoint is not None:
+        task_key = point_task_key(
+            benchmark, config_value, arch_index, architecture, settings
+        )
+        if settings.resume:
+            recorded = checkpoint.point(task_key)
+            if recorded is not None:
+                # Restored before the routing engine even exists: a resumed
+                # point task routes nothing and runs no yield simulation.
+                return recorded
     circuit = get_benchmark(benchmark)
     profile = profile_circuit(circuit)
     simulator = YieldSimulator(
@@ -239,6 +290,8 @@ def _evaluate_task(
         engine=engine,
     )
     _merge_worker_routing_cache(settings, engine)
+    if checkpoint is not None:
+        checkpoint.record_point(task_key, point)
     return point
 
 

@@ -173,7 +173,8 @@ class RoutingCache:
         same-width circuits is the only way a loaded entry can be wrong.
         """
         return persistence.write_cache_file(
-            path, self.FORMAT, self.VERSION, self._serialize_entries()
+            path, self.FORMAT, self.VERSION, self._serialize_entries(),
+            key_of=self._record_key, kind="routing cache",
         )
 
     def _serialize_entries(self) -> list:

@@ -1,0 +1,142 @@
+"""Property tests of the pluggable cache-store backends.
+
+Invariants covered (ISSUE satellite list):
+
+* shard routing is *total* and *stable*: every JSON-expressible key maps
+  to exactly one of the 256 two-hex-digit shards, identically across
+  repeated calls and across the tuple/list spellings of one key (the
+  in-memory and file-loaded shapes);
+* union merge is idempotent and order-independent: merging the same
+  batches again, or in any order, yields the same final entry set on
+  every backend;
+* round-trips between backends preserve entries: any store image
+  migrated sharded ⇄ single-file ⇄ sqlite carries exactly the same
+  records.
+"""
+
+from __future__ import annotations
+
+import re
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import persistence
+from repro.persistence.sharded import shard_for_key
+from strategies import examples
+
+pytestmark = pytest.mark.property
+
+FMT = "repro-test-cache"
+
+_SHARD_ID = re.compile(r"^[0-9a-f]{2}$")
+
+# JSON-expressible cache keys: scalars and nested tuples of them — the
+# exact shapes the routing/design caches and the sweep checkpoint use.
+_scalars = st.one_of(
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.text(max_size=20),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.booleans(),
+    st.none(),
+)
+keys = st.recursive(
+    _scalars, lambda children: st.lists(children, max_size=4).map(tuple), max_leaves=8
+)
+
+
+def _record(key):
+    """A record whose value is a pure function of its key."""
+    return {"key": persistence.listify(key), "value": persistence.canonical_key(key)}
+
+
+def _key_of(record):
+    return persistence.tuplify(record["key"])
+
+
+def _entry_set(records):
+    return {(persistence.canonical_key(_key_of(r)), r["value"]) for r in records or []}
+
+
+class TestShardRouting:
+    @given(key=keys)
+    @settings(max_examples=examples(100))
+    def test_total_and_well_formed(self, key):
+        assert _SHARD_ID.match(shard_for_key(key))
+
+    @given(key=keys)
+    @settings(max_examples=examples(100))
+    def test_stable_across_calls_and_key_spellings(self, key):
+        shard = shard_for_key(key)
+        assert shard_for_key(key) == shard
+        # The file-loaded (list) and in-memory (tuple) shapes must route
+        # identically, or a reloaded entry would migrate between shards.
+        assert shard_for_key(persistence.listify(key)) == shard
+        assert shard_for_key(persistence.tuplify(key)) == shard
+
+
+def _store_paths(root):
+    return [
+        f"json:{root / 'store.json'}",
+        f"sharded:{root / 'store-dir'}",
+        f"sqlite:{root / 'store.sqlite'}",
+    ]
+
+
+class TestUnionMergeAlgebra:
+    @given(
+        batch_a=st.lists(keys, max_size=6),
+        batch_b=st.lists(keys, max_size=6),
+    )
+    @settings(max_examples=examples(25))
+    def test_idempotent_and_order_independent(self, batch_a, batch_b):
+        records_a = [_record(key) for key in batch_a]
+        records_b = [_record(key) for key in batch_b]
+        expected = _entry_set(records_a + records_b)
+        with tempfile.TemporaryDirectory() as ab_root, \
+                tempfile.TemporaryDirectory() as ba_root:
+            for path_ab, path_ba in zip(
+                _store_paths(Path(ab_root)), _store_paths(Path(ba_root))
+            ):
+                persistence.union_merge_save(path_ab, FMT, 1, records_a, _key_of)
+                persistence.union_merge_save(path_ab, FMT, 1, records_b, _key_of)
+                # Replaying a batch must change nothing (idempotence).
+                persistence.union_merge_save(path_ab, FMT, 1, records_a, _key_of)
+                persistence.union_merge_save(path_ba, FMT, 1, records_b, _key_of)
+                persistence.union_merge_save(path_ba, FMT, 1, records_a, _key_of)
+                loaded_ab = persistence.read_cache_entries(path_ab, FMT, 1)
+                loaded_ba = persistence.read_cache_entries(path_ba, FMT, 1)
+                assert _entry_set(loaded_ab) == expected
+                assert _entry_set(loaded_ba) == expected
+
+    @given(batch=st.lists(keys, min_size=1, max_size=8))
+    @settings(max_examples=examples(25))
+    def test_merge_reports_the_union_size(self, batch):
+        records = [_record(key) for key in batch]
+        distinct = len({persistence.canonical_key(_key_of(r)) for r in records})
+        with tempfile.TemporaryDirectory() as root:
+            for path in _store_paths(Path(root)):
+                count = persistence.union_merge_save(path, FMT, 1, records, _key_of)
+                assert count == distinct
+
+
+class TestCrossBackendRoundTrips:
+    @given(batch=st.lists(keys, max_size=8))
+    @settings(max_examples=examples(25))
+    def test_migration_chain_preserves_entries(self, batch):
+        records = [_record(key) for key in batch]
+        expected = _entry_set(records)
+        with tempfile.TemporaryDirectory() as root:
+            json_path, sharded_path, sqlite_path = _store_paths(Path(root))
+            persistence.union_merge_save(json_path, FMT, 1, records, _key_of)
+            persistence.migrate_store(json_path, sharded_path, FMT, 1, _key_of)
+            persistence.migrate_store(sharded_path, sqlite_path, FMT, 1, _key_of)
+            round_tripped = f"json:{Path(root) / 'round-trip.json'}"
+            persistence.migrate_store(sqlite_path, round_tripped, FMT, 1, _key_of)
+            for path in (sharded_path, sqlite_path, round_tripped):
+                assert _entry_set(
+                    persistence.read_cache_entries(path, FMT, 1)
+                ) == expected

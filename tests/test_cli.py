@@ -106,6 +106,37 @@ class TestParser:
             args = build_parser().parse_args([command, "sym6_145", "--cache-stats"])
             assert args.cache_stats is True
 
+    def test_cache_backend_defaults_to_auto(self):
+        for command in ("evaluate", "sweep"):
+            args = build_parser().parse_args([command, "sym6_145"])
+            assert args.cache_backend == "auto"
+
+    def test_cache_backend_choices(self):
+        for backend in ("json", "sharded", "sqlite"):
+            args = build_parser().parse_args(
+                ["sweep", "sym6_145", "--cache-backend", backend]
+            )
+            assert args.cache_backend == backend
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "sym6_145", "--cache-backend", "nope"]
+            )
+
+    def test_sweep_checkpoint_flags(self):
+        args = build_parser().parse_args(
+            ["sweep", "sym6_145", "--checkpoint", "ck.sqlite", "--resume",
+             "--output", "report.json"]
+        )
+        assert args.checkpoint == "ck.sqlite"
+        assert args.resume is True
+        assert args.output == "report.json"
+
+    def test_sweep_checkpoint_defaults(self):
+        args = build_parser().parse_args(["sweep", "sym6_145"])
+        assert args.checkpoint is None
+        assert args.resume is False
+        assert args.output is None
+
 
 class TestCommands:
     def test_list_outputs_all_benchmarks(self, capsys):
@@ -188,6 +219,44 @@ class TestDesignCacheRoundTrip:
                      "--allocation-strategy", "analytic-guided"]) == 0
         ablation = capsys.readouterr().out
         assert ablation != base
+
+
+class TestCacheBackendFlag:
+    """``--cache-backend`` routes unprefixed cache paths to a backend."""
+
+    FAST = ["--trials", "200", "--local-trials", "60"]
+
+    def test_store_path_prefixing(self):
+        from repro.cli import _store_path
+
+        assert _store_path(None, "sqlite") is None
+        assert _store_path("cache.json", "auto") == "cache.json"
+        assert _store_path("cache", "sharded") == "sharded:cache"
+        # An explicit scheme on the path always wins over the flag.
+        assert _store_path("json:cache", "sqlite") == "json:cache"
+
+    def test_evaluate_writes_sqlite_design_cache(self, tmp_path, capsys):
+        from repro.persistence import SQLITE_MAGIC
+
+        cache = tmp_path / "design-cache"
+        assert main(["evaluate", "sym6_145", *self.FAST,
+                     "--design-cache", str(cache),
+                     "--cache-backend", "sqlite"]) == 0
+        capsys.readouterr()
+        assert cache.read_bytes()[: len(SQLITE_MAGIC)] == SQLITE_MAGIC
+
+    def test_evaluate_writes_sharded_design_cache(self, tmp_path, capsys):
+        cache = tmp_path / "design-cache"
+        assert main(["evaluate", "sym6_145", *self.FAST,
+                     "--design-cache", str(cache),
+                     "--cache-backend", "sharded"]) == 0
+        capsys.readouterr()
+        assert cache.is_dir()
+        assert (cache / "shards.json").exists()
+
+    def test_resume_without_checkpoint_is_an_error(self, capsys):
+        assert main(["sweep", "sym6_145", *self.FAST, "--resume"]) == 2
+        assert "--resume requires --checkpoint" in capsys.readouterr().err
 
 
 class TestScreeningAndStatsFlags:

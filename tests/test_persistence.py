@@ -2,6 +2,7 @@
 
 import json
 import threading
+import time
 
 import pytest
 
@@ -172,6 +173,48 @@ class TestMergeLocking:
         final = _DictCache()
         final.load(path)
         assert final.entries == {f"worker-{i}": i for i in range(workers)}
+
+    def test_lock_key_resolves_path_spellings(self, tmp_path, monkeypatch):
+        """The regression: lock identity must be the *resolved* path, so
+        ``./cache.json``, ``cache.json``, an absolute spelling, and a
+        symlinked alias all contend on one lock instead of racing."""
+        from repro.persistence.store import _lock_key
+
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "cache.json"
+        target.write_text("{}")
+        link = tmp_path / "alias.json"
+        link.symlink_to(target)
+        spellings = ["cache.json", "./cache.json", str(target), link]
+        assert {_lock_key(spelling) for spelling in spellings} == {str(target)}
+
+    def test_lock_serializes_symlinked_aliases(self, tmp_path):
+        """Behavioral version of the lock-key fix: writers locking the real
+        path and a symlinked alias must never hold the lock together."""
+        target = tmp_path / "cache.json"
+        target.write_text("{}")
+        link = tmp_path / "alias.json"
+        link.symlink_to(target)
+        active = []
+        overlaps = []
+
+        def critical(path, index):
+            with persistence.cache_file_lock(path):
+                active.append(index)
+                time.sleep(0.002)  # widen the window a broken lock would race in
+                if len(active) > 1:
+                    overlaps.append(tuple(active))
+                active.remove(index)
+
+        threads = [
+            threading.Thread(target=critical, args=(path, index))
+            for index, path in enumerate([target, link] * 4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not overlaps
 
     def test_lock_serializes_threads(self, tmp_path):
         path = tmp_path / "cache.json"
