@@ -11,12 +11,21 @@ Subcommands:
 * ``sweep <benchmark> [...]`` — the same experiment grid sharded across
   worker processes (``--jobs N``) with deterministic per-point seeds:
   results are byte-identical for every job count.
+* ``cache migrate <src> <dst>`` — copy a persisted cache store (routing
+  cache, design cache, or sweep checkpoint) to another backend.
 * ``list`` — list the available benchmarks.
+
+The ``evaluate`` and ``sweep`` subcommands resolve their flags into one
+frozen :class:`~repro.runtime.config.RuntimeConfig` (optionally seeded
+from a ``--runtime-config`` JSON file) and run on the process's
+:class:`~repro.runtime.session.Session` for that config; ``--metrics-out``
+writes the merged structured metrics report of the invocation.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional, Sequence
 
@@ -26,17 +35,21 @@ from repro.collision.yield_simulator import YieldSimulator
 from repro.design.frequency_allocation import ALLOCATION_STRATEGIES
 from repro.design.flow import DesignFlow, DesignOptions
 from repro.evaluation.configs import ExperimentConfig
-from repro.evaluation.experiment import (
-    DEFAULT_CONFIGS,
-    EvaluationSettings,
-    evaluate_benchmark,
-)
+from repro.evaluation.experiment import DEFAULT_CONFIGS, DEFAULT_EVALUATION_ROUTING
 from repro.evaluation.figures import format_figure10_table
 from repro.evaluation.parallel import run_sweep
-from repro.mapping import SabreParameters
 from repro.profiling.profiler import profile_circuit
+from repro.runtime.config import RuntimeConfig
 from repro.visualization.ascii_art import render_architecture, render_coupling_matrix
 from repro.visualization.pareto_plot import render_pareto_scatter
+
+#: Parser defaults for the flags that can override a ``--runtime-config``
+#: JSON file.  A flag spelled at exactly its default is treated as "not
+#: given" and cannot override the file (see :func:`_runtime_config`).
+_TRIALS_DEFAULT = 10_000
+_LOCAL_TRIALS_DEFAULT = 2000
+_ROUTER_RESTARTS_DEFAULT = 1
+_ALLOCATION_STRATEGY_DEFAULT = "bfs-greedy"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,12 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
         "evaluate", help="run the Figure 10 experiment for benchmarks"
     )
     evaluate_parser.add_argument("benchmarks", nargs="+", help="benchmark names (see 'list')")
-    evaluate_parser.add_argument("--trials", type=int, default=10_000)
+    evaluate_parser.add_argument("--trials", type=int, default=_TRIALS_DEFAULT)
     evaluate_parser.add_argument(
         "--plot", action="store_true", help="also print an ASCII Pareto scatter plot"
     )
     _add_router_arguments(evaluate_parser)
     _add_design_arguments(evaluate_parser)
+    _add_runtime_arguments(evaluate_parser)
 
     sweep_parser = subparsers.add_parser(
         "sweep",
@@ -84,7 +98,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="worker process count (results are identical for any value)",
     )
-    sweep_parser.add_argument("--trials", type=int, default=10_000)
+    sweep_parser.add_argument("--trials", type=int, default=_TRIALS_DEFAULT)
     sweep_parser.add_argument(
         "--configs", nargs="+", default=None,
         choices=[config.value for config in ExperimentConfig],
@@ -112,6 +126,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_router_arguments(sweep_parser)
     _add_design_arguments(sweep_parser)
+    _add_runtime_arguments(sweep_parser)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="maintenance of persisted cache stores"
+    )
+    cache_subparsers = cache_parser.add_subparsers(dest="cache_command", required=True)
+    migrate_parser = cache_subparsers.add_parser(
+        "migrate",
+        help="copy a cache store (routing cache, design cache, or sweep "
+             "checkpoint) into another backend",
+    )
+    migrate_parser.add_argument(
+        "source", help="existing store to read (backend sniffed or prefixed)"
+    )
+    migrate_parser.add_argument(
+        "dest", help="store to (re)write with the source's full entry list"
+    )
+    migrate_parser.add_argument(
+        "--cache-backend", default="auto", choices=("auto",) + BACKENDS,
+        help="backend for an unprefixed DEST path (default: auto — sniff "
+             "existing state, else single-file JSON)",
+    )
     return parser
 
 
@@ -119,12 +155,15 @@ def _add_router_arguments(parser: argparse.ArgumentParser) -> None:
     """Routing-engine knobs shared by ``evaluate`` and ``sweep``."""
     group = parser.add_argument_group("routing engine")
     group.add_argument(
-        "--router-passes", type=int, default=1, metavar="N",
+        "--router-passes", type=int, default=DEFAULT_EVALUATION_ROUTING.passes,
+        metavar="N",
         help="bidirectional SABRE passes per routing (odd; 1 = forward only, "
-             "3 = forward-backward-forward refinement)",
+             "3 = forward-backward-forward refinement; default: "
+             f"{DEFAULT_EVALUATION_ROUTING.passes})",
     )
     group.add_argument(
-        "--router-restarts", type=int, default=1, metavar="K",
+        "--router-restarts", type=int, default=_ROUTER_RESTARTS_DEFAULT,
+        metavar="K",
         help="best-of-K seeded restarts per routing (deterministic)",
     )
     group.add_argument(
@@ -146,7 +185,7 @@ def _add_allocation_strategy_argument(target) -> None:
     """
     target.add_argument(
         "--allocation-strategy", "--alloc-strategy", dest="allocation_strategy",
-        default="bfs-greedy",
+        default=_ALLOCATION_STRATEGY_DEFAULT,
         choices=sorted(ALLOCATION_STRATEGIES),
         help="Algorithm 3 search strategy (default: the paper-exact bfs-greedy)",
     )
@@ -171,7 +210,8 @@ def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
         "--cache-stats", action="store_true",
         help="print a cache-aware session report (per-stage design-engine "
              "entries/hits/misses and routing-cache hit rates) after the "
-             "results",
+             "results (deprecated: --metrics-out emits the same counters "
+             "and more as structured JSON)",
     )
     group.add_argument(
         "--design-cache", default=None, metavar="PATH",
@@ -181,7 +221,7 @@ def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
              "re-derives its architectures without any frequency search",
     )
     group.add_argument(
-        "--local-trials", type=int, default=2000, metavar="N",
+        "--local-trials", type=int, default=_LOCAL_TRIALS_DEFAULT, metavar="N",
         help="Monte Carlo trials per candidate frequency inside Algorithm 3 "
              "(default: 2000, as in the paper)",
     )
@@ -194,12 +234,22 @@ def _add_design_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _router_parameters(args: argparse.Namespace) -> SabreParameters:
-    try:
-        return SabreParameters(passes=args.router_passes, restarts=args.router_restarts)
-    except ValueError as error:
-        print(f"repro-design: error: {error}", file=sys.stderr)
-        raise SystemExit(2) from None
+def _add_runtime_arguments(parser: argparse.ArgumentParser) -> None:
+    """Runtime-session knobs shared by ``evaluate`` and ``sweep``."""
+    group = parser.add_argument_group("runtime session")
+    group.add_argument(
+        "--runtime-config", default=None, metavar="PATH",
+        help="JSON file of RuntimeConfig fields to start from; precedence "
+             "is built-in defaults < this file < flags spelled differently "
+             "from their parser defaults",
+    )
+    group.add_argument(
+        "--metrics-out", default=None, metavar="PATH",
+        help="write the invocation's merged structured metrics report "
+             "(versioned JSON: per-stage cache counters, screening prune "
+             "fractions, routing swap counts, Monte Carlo call counts, and "
+             "wall-time timers, aggregated across all workers) to PATH",
+    )
 
 
 def _store_path(path: Optional[str], backend: str) -> Optional[str]:
@@ -218,20 +268,59 @@ def _store_path(path: Optional[str], backend: str) -> Optional[str]:
     return f"{backend}:{path}"
 
 
-def _evaluation_settings(args: argparse.Namespace) -> EvaluationSettings:
-    """The shared ``EvaluationSettings`` of the evaluate/sweep subcommands."""
-    backend = args.cache_backend
-    return EvaluationSettings(
-        yield_trials=args.trials,
-        frequency_local_trials=args.local_trials,
-        routing=_router_parameters(args),
-        routing_cache_path=_store_path(args.routing_cache, backend),
-        allocation_strategy=args.allocation_strategy,
-        design_cache_path=_store_path(args.design_cache, backend),
-        screening=not args.no_screening,
-        checkpoint_path=_store_path(getattr(args, "checkpoint", None), backend),
-        resume=getattr(args, "resume", False),
-    )
+def _runtime_config(args: argparse.Namespace) -> RuntimeConfig:
+    """Resolve one frozen ``RuntimeConfig`` for an evaluate/sweep invocation.
+
+    Precedence: built-in defaults < the ``--runtime-config`` JSON file <
+    CLI flags spelled differently from their parser defaults.  (A flag
+    given at exactly its default value is indistinguishable from an
+    omitted one and cannot override the file.)  Invalid combinations —
+    even router passes, an unreadable config file — exit with status 2.
+    """
+    try:
+        config = (
+            RuntimeConfig.from_json(args.runtime_config)
+            if getattr(args, "runtime_config", None)
+            else RuntimeConfig()
+        )
+        routing = config.routing
+        if args.router_passes != DEFAULT_EVALUATION_ROUTING.passes:
+            routing = dataclasses.replace(routing, passes=args.router_passes)
+        if args.router_restarts != _ROUTER_RESTARTS_DEFAULT:
+            routing = dataclasses.replace(routing, restarts=args.router_restarts)
+        updates = {}
+        if routing != config.routing:
+            updates["routing"] = routing
+        if args.trials != _TRIALS_DEFAULT:
+            updates["yield_trials"] = args.trials
+        if args.local_trials != _LOCAL_TRIALS_DEFAULT:
+            updates["frequency_local_trials"] = args.local_trials
+        if args.allocation_strategy != _ALLOCATION_STRATEGY_DEFAULT:
+            updates["allocation_strategy"] = args.allocation_strategy
+        if args.no_screening:
+            updates["screening"] = False
+        for flag, field in (("routing_cache", "routing_cache_path"),
+                            ("design_cache", "design_cache_path"),
+                            ("checkpoint", "checkpoint_path")):
+            value = getattr(args, flag, None)
+            if value is not None:
+                updates[field] = value
+        if getattr(args, "resume", False):
+            updates["resume"] = True
+        # --cache-backend applies to every unprefixed store path, whether
+        # it came from a flag or from the config file.
+        backend = args.cache_backend
+        for field in ("routing_cache_path", "design_cache_path", "checkpoint_path"):
+            value = updates.get(field, getattr(config, field))
+            prefixed = _store_path(value, backend)
+            if prefixed != value:
+                updates[field] = prefixed
+        if updates:
+            config = dataclasses.replace(config, **updates)
+    except (OSError, ValueError) as error:
+        print(f"repro-design: error: {error}", file=sys.stderr)
+        raise SystemExit(2) from None
+    return config
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -245,16 +334,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_design(args.benchmark, args.buses, args.trials, args.allocation_strategy,
                            screening=not args.no_screening)
     if args.command == "evaluate":
-        return _cmd_evaluate(args.benchmarks, _evaluation_settings(args), args.plot,
-                             cache_stats=args.cache_stats)
+        return _cmd_evaluate(args.benchmarks, _runtime_config(args), args.plot,
+                             cache_stats=args.cache_stats,
+                             metrics_out=args.metrics_out)
     if args.command == "sweep":
-        if args.resume and not args.checkpoint:
+        if args.resume and not (args.checkpoint or args.runtime_config):
             print("repro-design: error: --resume requires --checkpoint",
                   file=sys.stderr)
             return 2
         return _cmd_sweep(args.benchmarks, args.jobs, args.configs, args.plot,
-                          _evaluation_settings(args), cache_stats=args.cache_stats,
-                          output=args.output)
+                          _runtime_config(args), cache_stats=args.cache_stats,
+                          output=args.output, metrics_out=args.metrics_out)
+    if args.command == "cache":
+        return _cmd_cache_migrate(args.source, args.dest, args.cache_backend)
     return 2
 
 
@@ -353,17 +445,43 @@ def _sweep_report(names: List[str], results: dict) -> str:
     return json.dumps(report, indent=2, sort_keys=True) + "\n"
 
 
+def _write_metrics(path: str, baseline, *, command: str,
+                   config: RuntimeConfig, jobs: int) -> None:
+    """Emit the ``--metrics-out`` report: everything since ``baseline``.
+
+    The global registry already holds the worker deltas (the sweep
+    executor merges each task's snapshot diff back into the parent), so
+    one diff against the command-start baseline covers every stage of
+    every worker.
+    """
+    from repro.runtime.metrics import (
+        diff_snapshots,
+        global_metrics,
+        metrics_report,
+        write_metrics,
+    )
+
+    snapshot = diff_snapshots(global_metrics().snapshot(), baseline)
+    write_metrics(path, metrics_report(
+        snapshot, command=command, config_digest=config.digest(), jobs=jobs,
+    ))
+
+
 def _cmd_sweep(
     benchmarks: List[str],
     jobs: int,
     config_values: Optional[List[str]],
     plot: bool,
-    settings: EvaluationSettings,
+    config: RuntimeConfig,
     cache_stats: bool = False,
     output: Optional[str] = None,
+    metrics_out: Optional[str] = None,
 ) -> int:
     from repro.evaluation.parallel import save_worker_routing_cache, worker_cache_stats
+    from repro.runtime.metrics import global_metrics
 
+    baseline = global_metrics().snapshot()
+    settings = config.evaluation_settings()
     # Canonicalize up front: fails fast on unknown names (before forking
     # workers) and collapses aliases/duplicates onto the sweep's keys.
     names = list(dict.fromkeys(get_benchmark(name).name for name in benchmarks))
@@ -387,46 +505,82 @@ def _cmd_sweep(
             worker_cache_stats(settings),
             note=(
                 f"--jobs {jobs} ran its engines in worker processes; "
-                "per-worker counters are not aggregated here"
+                "per-worker counters are not aggregated here — "
+                "--metrics-out reports merge them"
             ) if jobs > 1 else None,
         )
+    if metrics_out:
+        _write_metrics(metrics_out, baseline, command="sweep", config=config,
+                       jobs=jobs)
     return 0
 
 
-def _cmd_evaluate(benchmarks: List[str], settings: EvaluationSettings,
-                  plot: bool, cache_stats: bool = False) -> int:
-    from repro.evaluation.experiment import design_engine_for
-    from repro.mapping import RoutingEngine
+def _cmd_evaluate(benchmarks: List[str], config: RuntimeConfig,
+                  plot: bool, cache_stats: bool = False,
+                  metrics_out: Optional[str] = None) -> int:
+    from repro.runtime.metrics import global_metrics
+    from repro.runtime.session import session_for
 
-    # One engine of each kind across benchmarks: the IBM baselines repeat,
-    # so their routers/distance matrices are built once per invocation, and
-    # design stages shared between benchmarks are computed once.
-    engine = RoutingEngine(settings.routing)
-    if settings.routing_cache_path:
-        engine.cache.load(settings.routing_cache_path, missing_ok=True)
-    design_engine = design_engine_for(settings)
-    routing_misses = engine.cache.misses
-    design_misses = design_engine.frequency_cache.misses
+    # The process session owns one engine of each kind across benchmarks:
+    # the IBM baselines repeat, so their routers/distance matrices are
+    # built once, and design stages shared between benchmarks (or with
+    # earlier in-process invocations of the same config) compute once.
+    baseline = global_metrics().snapshot()
+    session = session_for(config)
     for name in benchmarks:
-        circuit = get_benchmark(name)
-        _print_result(evaluate_benchmark(circuit, settings=settings, engine=engine,
-                                         design_engine=design_engine), plot)
-    # Locked file-level merges: a concurrent writer's (or an earlier
-    # run's) entries are never dropped by the refresh, and fully warm
-    # runs (no new cache misses) skip the rewrite entirely.
-    if settings.routing_cache_path and engine.cache.misses > routing_misses:
-        engine.cache.merge_save(settings.routing_cache_path)
-    if settings.design_cache_path and \
-            design_engine.frequency_cache.misses > design_misses:
-        design_engine.frequency_cache.merge_save(settings.design_cache_path)
+        _print_result(session.evaluate(name), plot)
+    # Locked file-level merges behind miss-count watermarks: a concurrent
+    # writer's (or an earlier run's) entries are never dropped by the
+    # refresh, and fully warm runs skip the rewrite entirely.
+    session.persist()
     if cache_stats:
-        stats = {"routing": engine.cache.stats()}
-        stats.update(
-            (f"design/{stage}", values)
-            for stage, values in design_engine.stats().items()
-        )
-        _print_cache_stats(stats)
+        _print_cache_stats(session.cache_stats())
+    if metrics_out:
+        _write_metrics(metrics_out, baseline, command="evaluate", config=config,
+                       jobs=1)
     return 0
+
+
+def _cmd_cache_migrate(source: str, dest: str, backend: str) -> int:
+    """``repro-design cache migrate``: copy a store to another backend.
+
+    The source's cache kind is detected by reading it under each known
+    envelope in turn (routing cache, design cache, sweep checkpoint);
+    every backend fails loud with :class:`WrongFormatError` on another
+    kind's data, so the first successful read identifies the store.
+    """
+    from repro.design.engine import DesignCache
+    from repro.evaluation.checkpoint import SweepCheckpoint
+    from repro.mapping.engine import RoutingCache
+    from repro.persistence import WrongFormatError, migrate_store, read_cache_entries
+
+    kinds = (
+        ("routing cache", RoutingCache.FORMAT, RoutingCache.VERSION,
+         RoutingCache._record_key),
+        ("design cache", DesignCache.FORMAT, DesignCache.VERSION,
+         DesignCache._record_key),
+        ("sweep checkpoint", SweepCheckpoint.FORMAT, SweepCheckpoint.VERSION,
+         SweepCheckpoint._record_key),
+    )
+    dest = _store_path(dest, backend)
+    for kind, file_format, version, key_of in kinds:
+        try:
+            entries = read_cache_entries(source, file_format, version, kind=kind)
+        except FileNotFoundError:
+            print(f"repro-design: error: cache store not found: {source}",
+                  file=sys.stderr)
+            return 2
+        except (WrongFormatError, ValueError):
+            continue
+        if entries is None:
+            continue
+        count = migrate_store(source, dest, file_format, version, key_of,
+                              kind=kind)
+        print(f"migrated {count} {kind} entries: {source} -> {dest}")
+        return 0
+    print(f"repro-design: error: {source} is not a recognized cache store",
+          file=sys.stderr)
+    return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -589,12 +589,25 @@ _STATS: Dict[str, int] = {
 
 
 def record_screening(candidates: int, exact: int, verified: int, pruned: int) -> None:
-    """Accumulate one screened ranking call into the process-wide stats."""
+    """Accumulate one screened ranking call into the process-wide stats.
+
+    The same totals are mirrored into the structured metrics registry
+    (:mod:`repro.runtime.metrics`) so ``--metrics-out`` reports prune
+    fractions merged across sweep workers.
+    """
     _STATS["calls"] += 1
     _STATS["candidates"] += candidates
     _STATS["exact"] += exact
     _STATS["verified"] += verified
     _STATS["pruned"] += pruned
+    from repro.runtime.metrics import global_metrics
+
+    metrics = global_metrics()
+    metrics.increment("screening/calls")
+    metrics.increment("screening/candidates", candidates)
+    metrics.increment("screening/exact", exact)
+    metrics.increment("screening/verified", verified)
+    metrics.increment("screening/pruned", pruned)
 
 
 def screening_stats() -> Dict[str, int]:

@@ -42,6 +42,9 @@ from repro.collision.screening import (
 )
 from repro.hardware.architecture import Architecture
 from repro.hardware.frequency import DEFAULT_SIGMA_GHZ
+from repro.runtime.metrics import global_metrics
+
+_metrics = global_metrics()
 
 #: Trial count used by the paper's evaluation (10x IBM's own experiments).
 PAPER_TRIAL_COUNT = 10_000
@@ -202,7 +205,10 @@ class YieldSimulator:
             (index_of[j], index_of[i], index_of[k])
             for j, i, k in architecture.collision_triples()
         ]
-        return self.estimate_from_arrays(frequencies, pairs, triples)
+        _metrics.increment("yield/estimates")
+        _metrics.increment("yield/trials", self.trials)
+        with _metrics.timer("yield/estimate"):
+            return self.estimate_from_arrays(frequencies, pairs, triples)
 
     def estimate_from_arrays(
         self,
@@ -299,6 +305,8 @@ class YieldSimulator:
         """
         frequencies_batch = np.atleast_2d(np.asarray(frequencies_batch, dtype=float))
         num_candidates, num_qubits = frequencies_batch.shape
+        _metrics.increment("yield/kernel_calls")
+        _metrics.increment("yield/kernel_rows", num_candidates)
         pairs_array, triples_array = collision_index_arrays(pairs, triples)
         if pairs_array.size == 0 and triples_array.size == 0:
             return np.zeros(num_candidates, dtype=np.int64)

@@ -61,6 +61,9 @@ from repro.design.layout import LayoutResult, design_layout
 from repro.hardware.architecture import Architecture
 from repro.hardware.frequency import DEFAULT_SIGMA_GHZ, five_frequency_scheme
 from repro.profiling.profiler import CircuitProfile, profile_circuit
+from repro.runtime.metrics import global_metrics
+
+_metrics = global_metrics()
 
 #: Default bound on memoized entries per stage.  Evaluation sweeps touch a
 #: handful of benchmarks and a few dozen distinct architectures per
@@ -145,9 +148,11 @@ class StageCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            _metrics.increment(f"design/{self.name}/misses")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        _metrics.increment(f"design/{self.name}/hits")
         return entry
 
     def put(self, key: Tuple, value) -> None:

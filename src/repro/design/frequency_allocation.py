@@ -71,7 +71,10 @@ from repro.hardware.frequency import (
     candidate_frequencies,
     middle_frequency,
 )
+from repro.runtime.metrics import global_metrics
 from repro.utils.rng import seed_for
+
+_metrics = global_metrics()
 
 #: Two candidate yields within this tolerance count as tied.  Monte Carlo
 #: yields are multiples of ``1/local_trials``, so this is equivalent to
@@ -680,9 +683,11 @@ class FrequencyAllocator:
             raise ValueError("architecture has no qubits")
         global _ALLOCATION_CALLS
         _ALLOCATION_CALLS += 1
+        _metrics.increment("design/allocation_calls")
         context = _AllocationContext(self, architecture)
         strategy = resolve_strategy(self.strategy, self.refinement_passes)
-        return strategy.assign(context)
+        with _metrics.timer("design/allocate"):
+            return strategy.assign(context)
 
 
 def allocate_frequencies(

@@ -31,6 +31,9 @@ from repro.design.flow import BusStrategy, DesignFlow, DesignOptions, FrequencyS
 from repro.hardware.architecture import Architecture
 from repro.hardware.frequency import five_frequency_scheme
 from repro.hardware.ibm import ibm_baselines
+from repro.runtime.metrics import global_metrics
+
+_metrics = global_metrics()
 
 
 class ExperimentConfig(enum.Enum):
@@ -84,6 +87,24 @@ def architectures_for_config(
             it on or off; ``False`` is the ``--no-screening`` escape
             hatch.
     """
+    with _metrics.timer("design/generate"):
+        architectures = _architectures_for_config(
+            circuit, config, random_bus_seeds, frequency_local_trials,
+            engine, allocation_strategy, screening,
+        )
+    _metrics.increment("design/architectures", len(architectures))
+    return architectures
+
+
+def _architectures_for_config(
+    circuit: QuantumCircuit,
+    config: ExperimentConfig,
+    random_bus_seeds: Sequence[int],
+    frequency_local_trials: int,
+    engine: Optional[DesignEngine],
+    allocation_strategy: str,
+    screening: bool,
+) -> List[Architecture]:
     engine = engine if engine is not None else DesignEngine()
     if config is ExperimentConfig.IBM:
         return [arch for _index, arch in sorted(ibm_baselines().items())]

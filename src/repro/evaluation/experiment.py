@@ -37,6 +37,17 @@ DEFAULT_CONFIGS = (
     ExperimentConfig.EFF_LAYOUT_ONLY,
 )
 
+#: Router parameters used by the evaluation harness by default.
+#:
+#: Bidirectional forward-backward-forward routing (``passes=3``) is
+#: deterministic and never worse than a single pass (qft_16: 134 → 72
+#: swaps), and with the persistent ``RoutingCache`` merged in-worker its
+#: ~3x routing cost is paid once per (circuit, architecture) ever — so
+#: evaluation defaults to it.  ``SabreParameters()`` itself keeps
+#: ``passes=1``: the router's own default stays the paper-exact single
+#: pass; only the evaluation harness opts into the quality win.
+DEFAULT_EVALUATION_ROUTING = SabreParameters(passes=3)
+
 
 @dataclass(frozen=True)
 class EvaluationSettings:
@@ -53,6 +64,9 @@ class EvaluationSettings:
             (disabled by default to keep sweeps light).
         routing: Router tuning parameters shared by every evaluation point
             (bidirectional passes, seeded restarts, look-ahead window).
+            Defaults to :data:`DEFAULT_EVALUATION_ROUTING` — bidirectional
+            ``passes=3`` routing, deterministic and never worse than the
+            single-pass router default.
         routing_cache_path: Optional path to a persisted routing-result
             cache (see :meth:`~repro.mapping.engine.RoutingCache.load`):
             evaluation engines warm-load it, so repeated sweeps reuse
@@ -92,7 +106,7 @@ class EvaluationSettings:
     frequency_local_trials: int = 2000
     random_bus_seeds: Sequence[int] = (1, 2, 3, 4, 5)
     keep_routed_circuits: bool = False
-    routing: SabreParameters = SabreParameters()
+    routing: SabreParameters = DEFAULT_EVALUATION_ROUTING
     routing_cache_path: Optional[str] = None
     allocation_strategy: str = "bfs-greedy"
     design_cache_path: Optional[str] = None

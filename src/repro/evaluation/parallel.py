@@ -18,6 +18,16 @@ The executor parallelizes both phases of a sweep: architecture
 Algorithm 3 frequency search) and point *evaluation* (one task per
 architecture, dominated by routing plus the Monte Carlo yield
 simulation).
+
+Worker state lives in :class:`~repro.runtime.session.Session` objects
+found through the process-level registry, keyed by the settings' content
+digest (:func:`~repro.runtime.session.session_for`): every task of a
+sweep shares one warm session per worker process, and an in-process
+sweep (``jobs=1``) shares the session of the CLI command that launched
+it.  Each task also returns the :mod:`repro.runtime.metrics` delta it
+produced; the parent folds worker deltas into its own registry with
+key-wise sums, so the merged ``--metrics-out`` totals are deterministic
+for any task-completion order.
 """
 
 from __future__ import annotations
@@ -40,13 +50,19 @@ from repro.evaluation.experiment import (
     DataPoint,
     EvaluationSettings,
     ExperimentResult,
-    design_engine_for,
     evaluate_point,
 )
 from repro.hardware.architecture import Architecture
 from repro.mapping.engine import RoutingEngine
-from repro.mapping.sabre import SabreParameters
 from repro.profiling.profiler import profile_circuit
+from repro.runtime.metrics import Snapshot, diff_snapshots, global_metrics
+from repro.runtime.session import (
+    Session,
+    peek_session,
+    process_sessions,
+    reset_process_sessions,
+    session_for,
+)
 from repro.utils.rng import seed_for
 
 
@@ -83,68 +99,59 @@ def sweep_point_seed(base_seed: int, benchmark: str, config_value: str, arch_ind
 # Worker task functions.  Must be module-level so they pickle under every
 # multiprocessing start method; they receive plain tuples and re-derive
 # circuits/profiles locally to keep the pickled payload small.
+#
+# All process-local worker state (engines, caches, checkpoints) lives in
+# runtime Sessions keyed by the settings' content digest — store paths
+# canonicalized, so relative/symlink aliases of one cache file share one
+# warm engine per process.  Sessions are transparent: engine reuse can
+# never change a sweep value, so ``--jobs N`` stays byte-identical for
+# any N regardless of which points land in which process.
 # ---------------------------------------------------------------------------
 
-#: Process-local routing engines, one per (parameter set, cache file).
-#: Routing is a pure deterministic function of (circuit, architecture,
-#: parameters), so reusing distance matrices and memoized results inside a
-#: worker can never change a sweep value — ``--jobs N`` stays byte-identical
-#: for any N regardless of which points land in which process.
-_WORKER_ENGINES: Dict[Tuple[SabreParameters, Optional[str]], RoutingEngine] = {}
 
-#: Process-local design engines, one per design-cache path.  Design is a
-#: pure deterministic function of (circuit, configuration), so stage
-#: cache hits — warm-loaded or accumulated — can never change which
-#: architectures a sweep enumerates.
-_WORKER_DESIGN_ENGINES: Dict[Optional[str], DesignEngine] = {}
-
-#: Routing-cache miss counts already persisted per worker engine: the
-#: in-worker merge after each evaluation task only rewrites the cache
-#: file when the task actually routed something new.
-_WORKER_MERGED_MISSES: Dict[Tuple[SabreParameters, Optional[str]], int] = {}
-
-#: Process-local sweep checkpoints, one per (path, resume) pair.  On a
-#: resume, each worker snapshots the completed-task records once and
-#: serves every lookup from that snapshot; recordings always go through
-#: the store's locked union merge, so concurrent workers never drop each
-#: other's records.
-_WORKER_CHECKPOINTS: Dict[Tuple[str, bool], SweepCheckpoint] = {}
+def _worker_session(settings: EvaluationSettings) -> Session:
+    """This process's session for ``settings`` (created on first use)."""
+    return session_for(settings=settings)
 
 
 def _worker_engine(settings: EvaluationSettings) -> RoutingEngine:
-    key = (settings.routing, settings.routing_cache_path)
-    engine = _WORKER_ENGINES.get(key)
-    if engine is None:
-        engine = _WORKER_ENGINES.setdefault(key, RoutingEngine(settings.routing))
-        if settings.routing_cache_path:
-            # Warm-load persisted results: this is how sweeps reuse routing
-            # work across worker processes and across invocations.
-            engine.cache.load(settings.routing_cache_path, missing_ok=True)
-    return engine
+    """The session-owned routing engine, warm-loaded from the persistent cache."""
+    return _worker_session(settings).routing_engine
 
 
 def _worker_design_engine(settings: EvaluationSettings) -> DesignEngine:
-    key = settings.design_cache_path
-    engine = _WORKER_DESIGN_ENGINES.get(key)
-    if engine is None:
-        # design_engine_for warm-loads the persisted frequency plans, so
-        # every worker process starts its generation tasks warm.
-        engine = _WORKER_DESIGN_ENGINES.setdefault(key, design_engine_for(settings))
-    return engine
+    """The session-owned design engine, warm-loaded from the persistent cache."""
+    return _worker_session(settings).design_engine
 
 
 def _worker_checkpoint(settings: EvaluationSettings) -> Optional[SweepCheckpoint]:
     if not settings.checkpoint_path:
         return None
-    key = (settings.checkpoint_path, settings.resume)
-    checkpoint = _WORKER_CHECKPOINTS.get(key)
-    if checkpoint is None:
-        checkpoint = _WORKER_CHECKPOINTS.setdefault(
-            key, SweepCheckpoint(settings.checkpoint_path)
-        )
-        if settings.resume:
-            checkpoint.load()
-    return checkpoint
+    return _worker_session(settings).checkpoint
+
+
+def reset_worker_state() -> None:
+    """Drop every session this process built (engines, caches, checkpoints).
+
+    Test-isolation hook: after this, the next task builds cold state from
+    scratch, exactly like a freshly forked worker with no inherited
+    sessions.
+    """
+    reset_process_sessions()
+
+
+def active_routing_engines() -> List[RoutingEngine]:
+    """Routing engines constructed by this process's sessions (tests).
+
+    Lazy construction makes this a meaningful probe: a fully-warm resumed
+    sweep restores every point from the checkpoint before any routing
+    engine exists, so this stays empty.
+    """
+    return [
+        session._routing_engine
+        for session in process_sessions()
+        if session.has_routing_engine
+    ]
 
 
 def save_worker_routing_cache(settings: EvaluationSettings) -> Optional[int]:
@@ -160,48 +167,45 @@ def save_worker_routing_cache(settings: EvaluationSettings) -> Optional[int]:
     one cache path cannot drop each other's entries and the file never
     shrinks to one saver's LRU bound.
     """
-    if not settings.routing_cache_path:
+    session = peek_session(settings=settings)
+    if session is None:
         return None
-    key = (settings.routing, settings.routing_cache_path)
-    engine = _WORKER_ENGINES.get(key)
-    if engine is None:
-        return None
-    misses = engine.cache.misses
-    if misses <= _WORKER_MERGED_MISSES.get(key, 0):
-        return None
-    _WORKER_MERGED_MISSES[key] = misses
-    return engine.cache.merge_save(settings.routing_cache_path)
+    return session.persist_routing()
 
 
 def worker_cache_stats(settings: EvaluationSettings) -> Dict[str, Dict[str, int]]:
-    """Cache statistics of this process's worker engines (``--cache-stats``).
+    """Cache statistics of this process's session engines (``--cache-stats``).
 
     Returns whatever engines this process actually ran: ``routing`` maps
     to the :class:`~repro.mapping.engine.RoutingCache` counters and
-    ``design`` to the per-stage :meth:`DesignEngine.stats` counters.  An
-    in-process sweep (``--jobs 1``) reports the full session; in a
-    ``--jobs N`` sweep each worker process owns its counters, so the
-    parent's report only covers work it did itself (typically none) —
-    the CLI notes that limitation rather than pretending to aggregate.
+    ``design/<stage>`` to the per-stage :meth:`DesignEngine.stats`
+    counters.  An in-process sweep (``--jobs 1``) reports the full
+    session; in a ``--jobs N`` sweep each worker process owns its
+    counters, so this report only covers work the calling process did
+    itself (typically none) — the CLI notes that limitation rather than
+    pretending to aggregate.  ``--metrics-out`` is the aggregated,
+    structured successor.
     """
-    stats: Dict[str, Dict[str, int]] = {}
-    engine = _WORKER_ENGINES.get((settings.routing, settings.routing_cache_path))
-    if engine is not None:
-        stats["routing"] = engine.cache.stats()
-    design_engine = _WORKER_DESIGN_ENGINES.get(settings.design_cache_path)
-    if design_engine is not None:
-        stats.update(
-            (f"design/{stage}", values)
-            for stage, values in design_engine.stats().items()
-        )
-    return stats
+    session = peek_session(settings=settings)
+    if session is None:
+        return {}
+    return session.cache_stats()
 
 
 def _generate_task(
     task: Tuple[str, str, EvaluationSettings],
-) -> List[Tuple[str, str, int, Architecture]]:
+) -> Tuple[List[Tuple[str, str, int, Architecture]], Snapshot]:
     benchmark, config_value, settings = task
-    checkpoint = _worker_checkpoint(settings)
+    baseline = global_metrics().snapshot()
+    rows = _generate_rows(benchmark, config_value, settings)
+    return rows, diff_snapshots(global_metrics().snapshot(), baseline)
+
+
+def _generate_rows(
+    benchmark: str, config_value: str, settings: EvaluationSettings,
+) -> List[Tuple[str, str, int, Architecture]]:
+    session = _worker_session(settings)
+    checkpoint = session.checkpoint
     task_key = None
     if checkpoint is not None:
         task_key = generation_task_key(benchmark, config_value, settings)
@@ -213,8 +217,7 @@ def _generate_task(
                 return recorded
     circuit = get_benchmark(benchmark)
     config = ExperimentConfig(config_value)
-    engine = _worker_design_engine(settings)
-    misses_before = engine.frequency_cache.misses
+    engine = session.design_engine
     architectures = architectures_for_config(
         circuit,
         config,
@@ -224,13 +227,13 @@ def _generate_task(
         allocation_strategy=settings.allocation_strategy,
         screening=settings.screening,
     )
-    if settings.design_cache_path and engine.frequency_cache.misses > misses_before:
-        # Merge freshly computed frequency plans back immediately: Pool
-        # workers have no end-of-sweep hook, and the locked merge keeps
-        # concurrent workers from dropping each other's entries — so even
-        # ``sweep --jobs N`` leaves the cache file complete.  Tasks served
-        # entirely warm (no new stage misses) skip the rewrite.
-        engine.frequency_cache.merge_save(settings.design_cache_path)
+    # Merge freshly computed frequency plans back immediately: Pool
+    # workers have no end-of-sweep hook, and the locked merge keeps
+    # concurrent workers from dropping each other's entries — so even
+    # ``sweep --jobs N`` leaves the cache file complete.  Tasks served
+    # entirely warm (no new stage misses since the last merge) skip the
+    # rewrite inside persist_design.
+    session.persist_design()
     rows = [
         (benchmark, config_value, index, architecture)
         for index, architecture in enumerate(architectures)
@@ -241,31 +244,21 @@ def _generate_task(
     return rows
 
 
-def _merge_worker_routing_cache(settings: EvaluationSettings, engine: RoutingEngine) -> None:
-    """Persist this worker's new routing results after an evaluation task.
-
-    The design-cache counterpart lives in :func:`_generate_task`; this is
-    the routing-side mirror, giving ``sweep --jobs N`` a complete routing
-    cache file without a separate ``--jobs 1`` refresh pass.  Pool
-    workers have no end-of-sweep hook, so each task merges its own new
-    results; the per-path locked file-level union keeps concurrent
-    workers from dropping each other's entries, and tasks served
-    entirely from cache (no new misses) skip the rewrite.
-    """
-    if not settings.routing_cache_path:
-        return
-    key = (settings.routing, settings.routing_cache_path)
-    misses = engine.cache.misses
-    if misses > _WORKER_MERGED_MISSES.get(key, 0):
-        engine.cache.merge_save(settings.routing_cache_path)
-        _WORKER_MERGED_MISSES[key] = misses
-
-
 def _evaluate_task(
     task: Tuple[str, str, int, Architecture, EvaluationSettings],
-) -> DataPoint:
+) -> Tuple[DataPoint, Snapshot]:
     benchmark, config_value, arch_index, architecture, settings = task
-    checkpoint = _worker_checkpoint(settings)
+    baseline = global_metrics().snapshot()
+    point = _evaluate_one(benchmark, config_value, arch_index, architecture, settings)
+    return point, diff_snapshots(global_metrics().snapshot(), baseline)
+
+
+def _evaluate_one(
+    benchmark: str, config_value: str, arch_index: int,
+    architecture: Architecture, settings: EvaluationSettings,
+) -> DataPoint:
+    session = _worker_session(settings)
+    checkpoint = session.checkpoint
     task_key = None
     if checkpoint is not None:
         task_key = point_task_key(
@@ -284,12 +277,15 @@ def _evaluate_task(
         sigma_ghz=settings.sigma_ghz,
         seed=sweep_point_seed(settings.yield_seed, benchmark, config_value, arch_index),
     )
-    engine = _worker_engine(settings)
     point = evaluate_point(
         circuit, profile, architecture, ExperimentConfig(config_value), simulator, settings,
-        engine=engine,
+        engine=session.routing_engine,
     )
-    _merge_worker_routing_cache(settings, engine)
+    # The routing-side mirror of _generate_rows' design-cache merge:
+    # persist this worker's new routing results after every task, so
+    # ``sweep --jobs N`` leaves a complete routing cache file without a
+    # separate ``--jobs 1`` refresh pass.
+    session.persist_routing()
     if checkpoint is not None:
         checkpoint.record_point(task_key, point)
     return point
@@ -331,7 +327,7 @@ class SweepExecutor:
             for benchmark in benchmarks
             for config in self.configs
         ]
-        raw = self._map(_generate_task, tasks)
+        raw = self._run_tasks(_generate_task, tasks)
         return [
             SweepPoint(benchmark, ExperimentConfig(config_value), index, architecture)
             for generated in raw
@@ -345,7 +341,7 @@ class SweepExecutor:
              point.architecture, self.settings)
             for point in points
         ]
-        return self._map(_evaluate_task, tasks)
+        return self._run_tasks(_evaluate_task, tasks)
 
     def run(self, benchmarks: Sequence[str]) -> Dict[str, ExperimentResult]:
         """The full sweep: enumerate, evaluate, and assemble per-benchmark results.
@@ -365,6 +361,26 @@ class SweepExecutor:
         return results
 
     # -- execution ------------------------------------------------------------
+
+    def _run_tasks(self, func, tasks):
+        """Map tasks (in-process or via a Pool) and merge metrics deltas.
+
+        Every task returns ``(payload, metrics_delta)``.  When tasks ran
+        in forked workers, their deltas are folded into this process's
+        registry — key-wise sums, so the merged totals are deterministic
+        for any completion order.  In-process tasks incremented this
+        registry directly; merging their deltas again would double-count,
+        so they are dropped.
+        """
+        forked = not (self.jobs == 1 or len(tasks) <= 1)
+        results = self._map(func, tasks)
+        payloads = []
+        metrics = global_metrics()
+        for payload, delta in results:
+            payloads.append(payload)
+            if forked:
+                metrics.merge(delta)
+        return payloads
 
     def _map(self, func, tasks):
         if self.jobs == 1 or len(tasks) <= 1:

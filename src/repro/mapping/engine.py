@@ -22,6 +22,7 @@ hits and misses distribute across processes.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -35,6 +36,9 @@ from repro.mapping.distance import DistanceMatrix
 from repro.mapping.initial import initial_mapping
 from repro.mapping.sabre import SabreParameters, SabreRouter
 from repro.profiling.profiler import CircuitProfile, profile_circuit
+from repro.runtime.metrics import global_metrics
+
+_metrics = global_metrics()
 
 #: Default bound on memoized routing results per engine.  Entries retain
 #: the full routed circuit only when a caller asked for it
@@ -74,6 +78,28 @@ class _CacheEntry:
 
     gates: Optional[Tuple]
     result: object
+
+
+def profile_cache_key(profile: Optional[CircuitProfile]) -> Optional[int]:
+    """Value identity of a caller-supplied profile (None for no profile).
+
+    The profile drives the initial placement, so a caller-supplied
+    profile participates in routing cache keys by content digest over
+    every field the placement reads (strengths, degree order, coupling
+    edges): a profile that slips past the engine's cheap identity guard
+    can only ever poison (or hit) its own entry, never the profile-less
+    one.  SHA-256 rather than the salted built-in ``hash()``, so the key
+    survives a save/load round trip into another process.
+    """
+    if profile is None:
+        return None
+    digest = hashlib.sha256()
+    digest.update(profile.strength_matrix.tobytes())
+    digest.update(str(tuple(profile.degree_list)).encode())
+    digest.update(str(
+        tuple(sorted(tuple(sorted(edge)) for edge in profile.graph.edges()))
+    ).encode())
+    return int.from_bytes(digest.digest()[:8], "big")
 
 
 def architecture_cache_key(architecture: Architecture) -> Tuple:
@@ -129,9 +155,11 @@ class RoutingCache:
         entry = self._entries.get(key)
         if entry is None or (sufficient is not None and not sufficient(entry)):
             self.misses += 1
+            _metrics.increment("routing/cache/misses")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        _metrics.increment("routing/cache/hits")
         return entry
 
     def put(self, key: Tuple, result) -> None:
@@ -377,23 +405,12 @@ class RoutingEngine:
                 f"{circuit.name!r}; pass the circuit's own profile (or None)"
             )
         circuit_key = circuit_cache_key(circuit)
-        # The profile drives the initial placement, so a caller-supplied
-        # profile participates in the key by content digest over every field
-        # the placement reads (strengths, degree order, coupling edges): a
-        # profile that slips past the cheap guard above can only ever poison
-        # (or hit) its own entry, never the profile-less one.  SHA-256
-        # rather than the salted built-in hash(), so the key survives a
-        # save/load round trip into another process.
-        profile_key = None
-        if profile is not None:
-            digest = hashlib.sha256()
-            digest.update(profile.strength_matrix.tobytes())
-            digest.update(str(tuple(profile.degree_list)).encode())
-            digest.update(str(
-                tuple(sorted(tuple(sorted(edge)) for edge in profile.graph.edges()))
-            ).encode())
-            profile_key = int.from_bytes(digest.digest()[:8], "big")
-        key = (circuit_key, architecture_cache_key(architecture), self.parameters, profile_key)
+        key = (
+            circuit_key,
+            architecture_cache_key(architecture),
+            self.parameters,
+            profile_cache_key(profile),
+        )
         gates = circuit.gates
 
         def sufficient(entry) -> bool:
@@ -408,6 +425,7 @@ class RoutingEngine:
         if cached is not None:
             return _result_copy(cached.result, keep_routed_circuit)
 
+        compute_start = time.perf_counter()
         router = self.router_for(architecture)
         if not router.distances.is_connected():
             raise ValueError(
@@ -421,6 +439,9 @@ class RoutingEngine:
             circuit, mapping, dag=dag
         )
         verify_routing(circuit, routed, architecture, used_initial, dag=dag)
+        _metrics.observe("routing/route", time.perf_counter() - compute_start)
+        _metrics.increment("routing/routes")
+        _metrics.increment("routing/swaps", num_swaps)
         result = MappingResult(
             circuit_name=circuit.name,
             architecture_name=architecture.name,

@@ -1,0 +1,160 @@
+"""The frozen runtime configuration: resolved once, digested, carried everywhere.
+
+:class:`RuntimeConfig` is the single object that replaces field-by-field
+plumbing of cache paths, backend schemes, and router/screening knobs
+through ``EvaluationSettings`` → workers → CLI.  It is:
+
+* **frozen and picklable** — resolved once (from CLI flags and/or a
+  ``--runtime-config`` JSON file) and shipped to sweep workers intact;
+* **content-digestable** — :meth:`RuntimeConfig.digest` is a SHA-256
+  over the canonical JSON payload, with every store path canonicalized
+  via :func:`canonical_store_path` first.  Sessions are keyed by this
+  digest, so relative/symlink aliases of one cache file resolve to one
+  session and one warm engine (the same bug class PR 6 fixed for
+  persistence locks);
+* **convertible** — :meth:`RuntimeConfig.evaluation_settings` produces
+  the evaluation-layer :class:`~repro.evaluation.experiment.EvaluationSettings`
+  view, and :meth:`RuntimeConfig.from_settings` converts back, so the
+  two layers can never drift apart field-wise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from repro.evaluation.experiment import DEFAULT_EVALUATION_ROUTING, EvaluationSettings
+from repro.hardware.frequency import DEFAULT_SIGMA_GHZ
+from repro.mapping.sabre import SabreParameters
+from repro.persistence import parse_store_path
+
+
+def canonical_store_path(path: Optional[str]) -> Optional[str]:
+    """Canonicalize a store path, preserving its backend scheme prefix.
+
+    ``cache.json``, ``./cache.json``, and a symlink alias all resolve to
+    the same absolute real path; an explicit ``json:`` / ``sharded:`` /
+    ``sqlite:`` scheme is split off first and reattached after
+    resolution, so backend selection survives canonicalization.
+    """
+    if path is None:
+        return None
+    scheme, raw = parse_store_path(path)
+    resolved = Path(raw).resolve()
+    return f"{scheme}:{resolved}" if scheme else str(resolved)
+
+
+_PATH_FIELDS = ("routing_cache_path", "design_cache_path", "checkpoint_path")
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Everything a runtime session needs, resolved once and frozen.
+
+    Field semantics match :class:`~repro.evaluation.experiment.EvaluationSettings`
+    one-for-one (see its docstring); this class adds the canonical-JSON
+    digest, path canonicalization, and JSON round-tripping that make the
+    configuration addressable: two configs with equal digests are served
+    by one warm :class:`~repro.runtime.session.Session` per process.
+    """
+
+    yield_trials: int = 10_000
+    sigma_ghz: float = DEFAULT_SIGMA_GHZ
+    yield_seed: int = 7
+    frequency_local_trials: int = 2000
+    random_bus_seeds: Tuple[int, ...] = (1, 2, 3, 4, 5)
+    keep_routed_circuits: bool = False
+    routing: SabreParameters = DEFAULT_EVALUATION_ROUTING
+    routing_cache_path: Optional[str] = None
+    allocation_strategy: str = "bfs-greedy"
+    design_cache_path: Optional[str] = None
+    screening: bool = True
+    checkpoint_path: Optional[str] = None
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "random_bus_seeds", tuple(int(s) for s in self.random_bus_seeds))
+        if isinstance(self.routing, Mapping):
+            object.__setattr__(self, "routing", SabreParameters(**dict(self.routing)))
+        # Reuse the evaluation layer's validation (strategy name, resume
+        # requires a checkpoint) so a bad config fails at resolution
+        # time, not after workers fork.
+        self.evaluation_settings()
+
+    # -- conversions -------------------------------------------------------
+
+    def evaluation_settings(self) -> EvaluationSettings:
+        """The evaluation-layer view of this config (exact field mirror)."""
+        return EvaluationSettings(**dataclasses.asdict(self) | {"routing": self.routing})
+
+    @classmethod
+    def from_settings(cls, settings: EvaluationSettings) -> "RuntimeConfig":
+        """Lift an :class:`EvaluationSettings` into the runtime layer."""
+        payload = dataclasses.asdict(settings)
+        payload["routing"] = settings.routing
+        payload["random_bus_seeds"] = tuple(settings.random_bus_seeds)
+        return cls(**payload)
+
+    # -- canonical form + digest -------------------------------------------
+
+    def canonical(self) -> "RuntimeConfig":
+        """This config with every store path canonicalized."""
+        updates = {
+            name: canonical_store_path(getattr(self, name))
+            for name in _PATH_FIELDS
+            if getattr(self, name) is not None
+        }
+        return dataclasses.replace(self, **updates) if updates else self
+
+    def payload(self) -> Dict[str, Any]:
+        """The canonical JSON-serializable form digest() hashes."""
+        data = dataclasses.asdict(self)
+        data["routing"] = dataclasses.asdict(self.routing)
+        data["random_bus_seeds"] = list(self.random_bus_seeds)
+        for name in _PATH_FIELDS:
+            data[name] = canonical_store_path(data[name])
+        return data
+
+    def digest(self) -> str:
+        """SHA-256 content digest of the canonical payload.
+
+        Store paths are canonicalized first, so relative/symlink aliases
+        of the same cache file digest identically — the process-level
+        session registry keys on this.
+        """
+        encoded = json.dumps(self.payload(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+    # -- JSON round trip ----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Deterministic JSON (non-canonicalized paths, as configured)."""
+        data = dataclasses.asdict(self)
+        data["routing"] = dataclasses.asdict(self.routing)
+        data["random_bus_seeds"] = list(self.random_bus_seeds)
+        return json.dumps(data, indent=2, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_mapping(cls, data: Mapping[str, Any]) -> "RuntimeConfig":
+        """Build a config from a JSON-decoded mapping; unknown keys fail."""
+        names = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - names
+        if unknown:
+            raise ValueError(f"unknown runtime-config keys: {sorted(unknown)}")
+        payload = dict(data)
+        if "random_bus_seeds" in payload:
+            payload["random_bus_seeds"] = tuple(payload["random_bus_seeds"])
+        return cls(**payload)
+
+    @classmethod
+    def from_json(cls, path: Union[str, Path]) -> "RuntimeConfig":
+        """Load a ``--runtime-config`` JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict):
+            raise ValueError(f"runtime config {path} must be a JSON object")
+        return cls.from_mapping(data)

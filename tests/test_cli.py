@@ -46,7 +46,7 @@ class TestParser:
     def test_router_knob_defaults(self):
         for command in ("evaluate", "sweep"):
             args = build_parser().parse_args([command, "sym6_145"])
-            assert args.router_passes == 1
+            assert args.router_passes == 3
             assert args.router_restarts == 1
 
     def test_router_knobs_accepted(self):
@@ -270,7 +270,7 @@ class TestScreeningAndStatsFlags:
         from repro.design import reset_shared_caches
         from repro.evaluation import parallel
 
-        parallel._WORKER_DESIGN_ENGINES.clear()
+        parallel.reset_worker_state()
         reset_shared_caches()
 
     def test_no_screening_sweep_output_is_byte_identical(self, capsys):

@@ -1,0 +1,237 @@
+"""Tests for the runtime session layer: config digests, the process
+registry, request dedup, and worker→parent metrics merging."""
+
+import pickle
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.benchmarks import get_benchmark
+from repro.design import (
+    allocation_call_count,
+    reset_allocation_call_count,
+    reset_shared_caches,
+)
+from repro.evaluation import (
+    EvaluationSettings,
+    ExperimentConfig,
+    evaluate_benchmark,
+    run_sweep,
+)
+from repro.evaluation import parallel
+from repro.runtime.config import RuntimeConfig, canonical_store_path
+from repro.runtime.metrics import diff_snapshots, global_metrics
+from repro.runtime.session import peek_session, session_for
+
+FAST_KW = dict(yield_trials=300, frequency_local_trials=80, random_bus_seeds=(1,))
+FAST_SETTINGS = EvaluationSettings(**FAST_KW)
+FAST_CONFIGS = (ExperimentConfig.EFF_FULL, ExperimentConfig.EFF_LAYOUT_ONLY)
+
+
+def point_fingerprint(result):
+    return [
+        (p.config.value, p.architecture_name, p.yield_rate, p.total_gates,
+         p.num_swaps, p.normalized_reciprocal_gates)
+        for p in result.points
+    ]
+
+
+def _cold_process():
+    """Simulate a fresh process: no sessions, no shared design caches."""
+    parallel.reset_worker_state()
+    reset_shared_caches()
+    reset_allocation_call_count()
+
+
+class TestRuntimeConfigRoundTrip:
+    def test_settings_round_trip(self):
+        settings = EvaluationSettings(
+            yield_trials=123, frequency_local_trials=45,
+            random_bus_seeds=(2, 3), screening=False,
+        )
+        config = RuntimeConfig.from_settings(settings)
+        assert config.evaluation_settings() == settings
+
+    def test_json_round_trip_preserves_digest(self, tmp_path):
+        config = RuntimeConfig(
+            yield_trials=500, routing_cache_path="sqlite:cache.db",
+            allocation_strategy="analytic-guided",
+        )
+        path = tmp_path / "config.json"
+        path.write_text(config.to_json())
+        loaded = RuntimeConfig.from_json(path)
+        assert loaded == config
+        assert loaded.digest() == config.digest()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown runtime-config keys"):
+            RuntimeConfig.from_mapping({"nope": 1})
+
+    def test_config_is_picklable_with_stable_digest(self):
+        config = RuntimeConfig(**FAST_KW)
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        assert clone.digest() == config.digest()
+
+    def test_invalid_combinations_fail_at_resolution(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(resume=True)  # resume without a checkpoint
+        with pytest.raises(ValueError):
+            RuntimeConfig(allocation_strategy="nope")
+
+
+class TestStorePathAliasing:
+    """Regression: worker engine maps used to key on raw cache-path
+    strings, so ``cache.json`` and ``/abs/dir/cache.json`` naming the
+    same file got two engines (and two racing writers).  Sessions key on
+    the config digest, which canonicalizes store paths first."""
+
+    def test_relative_and_absolute_spellings_share_one_engine(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.chdir(tmp_path)
+        relative = EvaluationSettings(routing_cache_path="cache.json", **FAST_KW)
+        absolute = EvaluationSettings(
+            routing_cache_path=str(tmp_path / "cache.json"), **FAST_KW
+        )
+        assert (RuntimeConfig.from_settings(relative).digest()
+                == RuntimeConfig.from_settings(absolute).digest())
+        parallel.reset_worker_state()
+        assert parallel._worker_engine(relative) is parallel._worker_engine(absolute)
+
+    def test_symlink_aliases_share_one_engine(self, tmp_path):
+        real = tmp_path / "real"
+        real.mkdir()
+        link = tmp_path / "link"
+        link.symlink_to(real)
+        via_real = EvaluationSettings(
+            design_cache_path=str(real / "plans.json"), **FAST_KW
+        )
+        via_link = EvaluationSettings(
+            design_cache_path=str(link / "plans.json"), **FAST_KW
+        )
+        assert (RuntimeConfig.from_settings(via_real).digest()
+                == RuntimeConfig.from_settings(via_link).digest())
+        parallel.reset_worker_state()
+        assert (parallel._worker_design_engine(via_real)
+                is parallel._worker_design_engine(via_link))
+
+    def test_different_paths_get_different_sessions(self, tmp_path):
+        a = EvaluationSettings(routing_cache_path=str(tmp_path / "a.json"), **FAST_KW)
+        b = EvaluationSettings(routing_cache_path=str(tmp_path / "b.json"), **FAST_KW)
+        assert (RuntimeConfig.from_settings(a).digest()
+                != RuntimeConfig.from_settings(b).digest())
+        parallel.reset_worker_state()
+        assert parallel._worker_engine(a) is not parallel._worker_engine(b)
+
+    def test_scheme_prefix_survives_canonicalization(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        canonical = canonical_store_path("sqlite:cache.db")
+        assert canonical == f"sqlite:{tmp_path / 'cache.db'}"
+        assert canonical_store_path(None) is None
+
+
+class TestSessionRegistry:
+    def test_session_for_is_get_or_create(self):
+        parallel.reset_worker_state()
+        config = RuntimeConfig(**FAST_KW)
+        assert peek_session(config) is None
+        session = session_for(config)
+        assert session_for(config) is session
+        assert peek_session(config) is session
+
+    def test_sessions_are_lazy(self):
+        parallel.reset_worker_state()
+        session = session_for(RuntimeConfig(**FAST_KW))
+        assert not session.has_routing_engine
+        assert not session.has_design_engine
+
+
+class TestSessionByteIdentity:
+    """Acceptance: one shared warm Session serves design + evaluate +
+    sweep with outputs byte-identical to fresh per-call engines, for any
+    --jobs count, cold and warm."""
+
+    def test_warm_session_evaluate_matches_fresh_engines(self):
+        _cold_process()
+        circuit = get_benchmark("sym6_145")
+        fresh = evaluate_benchmark(circuit, configs=FAST_CONFIGS,
+                                   settings=FAST_SETTINGS)
+        session = session_for(settings=FAST_SETTINGS)
+        cold = session.evaluate("sym6_145", FAST_CONFIGS)
+        warm = session.evaluate("sym6_145", FAST_CONFIGS)
+        assert point_fingerprint(cold) == point_fingerprint(fresh)
+        assert point_fingerprint(warm) == point_fingerprint(fresh)
+
+    def test_warm_session_sweep_matches_cold_sweep_for_any_jobs(self):
+        _cold_process()
+        reference = run_sweep(["sym6_145"], jobs=1, settings=FAST_SETTINGS,
+                              configs=FAST_CONFIGS)
+        session = session_for(settings=FAST_SETTINGS)  # warm from the run above
+        assert session.has_design_engine
+        for jobs in (1, 2, 4):
+            result = session.sweep(["sym6_145"], configs=FAST_CONFIGS, jobs=jobs)
+            assert point_fingerprint(result["sym6_145"]) == point_fingerprint(
+                reference["sym6_145"]
+            ), f"warm session sweep diverged at jobs={jobs}"
+
+
+class TestConcurrentDedup:
+    def test_identical_concurrent_requests_compute_once(self):
+        circuit = get_benchmark("sym6_145")
+
+        # Reference: the Algorithm 3 search cost of one cold design.
+        _cold_process()
+        session_for(settings=FAST_SETTINGS).design(circuit, 1)
+        single = allocation_call_count()
+        assert single > 0
+
+        _cold_process()
+        session = session_for(settings=FAST_SETTINGS)
+        deduped_before = global_metrics().counter("session/deduped_requests")
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(
+                lambda _: session.design(circuit, 1), range(8)
+            ))
+        assert allocation_call_count() == single, (
+            "concurrent identical requests must resolve to one engine call"
+        )
+        assert len({arch.name for arch in results}) == 1
+        assert global_metrics().counter("session/deduped_requests") > deduped_before
+
+
+class TestWorkerMetricsMerge:
+    def test_forked_worker_deltas_merge_into_parent(self):
+        _cold_process()
+        baseline = global_metrics().snapshot()
+        run_sweep(["sym6_145"], jobs=2, settings=FAST_SETTINGS,
+                  configs=FAST_CONFIGS)
+        delta = diff_snapshots(global_metrics().snapshot(), baseline)
+        counters = delta["counters"]
+        # All the work happened in forked children; the parent registry
+        # sees it only through the merged task deltas.
+        assert counters.get("design/allocation_calls", 0) > 0
+        assert counters.get("yield/estimates", 0) > 0
+        assert counters.get("routing/routes", 0) > 0
+        assert counters.get("design/architectures", 0) > 0
+
+    def test_serial_sweep_counter_deltas_are_deterministic(self):
+        deltas = []
+        for _ in range(2):
+            _cold_process()
+            baseline = global_metrics().snapshot()
+            run_sweep(["sym6_145"], jobs=1, settings=FAST_SETTINGS,
+                      configs=FAST_CONFIGS)
+            current = global_metrics().snapshot()
+            deltas.append(diff_snapshots(current, baseline)["counters"])
+        assert deltas[0] == deltas[1]
+
+    def test_in_process_sweep_does_not_double_count(self):
+        """jobs=1 tasks run in the parent's own registry; their deltas
+        must not be merged back on top (every estimate counted once)."""
+        _cold_process()
+        baseline = global_metrics().counter("yield/estimates")
+        results = run_sweep(["sym6_145"], jobs=1, settings=FAST_SETTINGS,
+                            configs=FAST_CONFIGS)
+        estimates = global_metrics().counter("yield/estimates") - baseline
+        assert estimates == len(results["sym6_145"].points)

@@ -151,12 +151,11 @@ class TestRoutingCachePersistence:
         assert path.exists()
 
         # A fresh process's serial run (simulated by dropping the
-        # process-local engines) warm-loads the file and routes nothing.
-        parallel._WORKER_ENGINES.clear()
-        parallel._WORKER_MERGED_MISSES.clear()
+        # process-local sessions) warm-loads the file and routes nothing.
+        parallel.reset_worker_state()
         serial = run_sweep(["sym6_145"], jobs=1, settings=settings,
                            configs=FAST_CONFIGS)
-        engine = parallel._WORKER_ENGINES[(settings.routing, str(path))]
+        engine = parallel._worker_engine(settings)
         assert engine.cache.misses == 0
         assert engine.cache.hits > 0
         assert point_fingerprint(sharded["sym6_145"]) == point_fingerprint(
@@ -242,7 +241,7 @@ class TestScreeningIdentity:
         from repro.design import reset_shared_caches
         from repro.evaluation import parallel
 
-        parallel._WORKER_DESIGN_ENGINES.clear()
+        parallel.reset_worker_state()
         reset_shared_caches()
 
     def test_screening_off_is_byte_identical_serial(self):
@@ -297,7 +296,7 @@ class TestDesignCachePersistence:
         # A warm second invocation — simulated as a fresh process by
         # dropping the process-local engines — re-derives identical points
         # with zero Algorithm 3 Monte Carlo searches.
-        parallel._WORKER_DESIGN_ENGINES.clear()
+        parallel.reset_worker_state()
         reset_allocation_call_count()
         second = run_sweep(["sym6_145"], jobs=1, settings=settings,
                            configs=FAST_CONFIGS)

@@ -40,10 +40,7 @@ API_SETTINGS = dict(yield_trials=250, frequency_local_trials=60)
 def _clear_process_state():
     """Reset every process-local engine/cache so runs cannot share state
     through anything but the checkpoint store on disk."""
-    parallel._WORKER_ENGINES.clear()
-    parallel._WORKER_DESIGN_ENGINES.clear()
-    parallel._WORKER_MERGED_MISSES.clear()
-    parallel._WORKER_CHECKPOINTS.clear()
+    parallel.reset_worker_state()
     reset_shared_caches()
     reset_allocation_call_count()
 
@@ -100,7 +97,7 @@ def test_interrupted_sweep_resumes_byte_identical(tmp_path, baseline, store):
         assert out.read_bytes() == baseline
         if jobs == "1":
             assert allocation_call_count() == 0
-            assert not parallel._WORKER_ENGINES, (
+            assert not parallel.active_routing_engines(), (
                 "a fully-warm resume should restore every point without "
                 "creating a routing engine"
             )
