@@ -18,14 +18,16 @@ claims on the evaluation grid's frequency-allocation workload:
   candidates provably discarded without ever touching the joint kernel —
   is recorded alongside it.
 * **Cold-path speedup** — the cold session (process caches cleared) runs
-  at least ``MIN_SPEEDUP`` times faster than the PR 4 replica.  The
-  issue's target for this tentpole was 3x; the honest measured ratio on
-  the reference machine is ~2.6x on the full grid (recorded in the JSON
-  artifact either way), composed of the interval screen on dense local
-  regions, the process-wide CRN noise-tensor cache, and the
-  cross-architecture ranking memo (40-60% of a cold grid's rankings are
-  exact repeats).  The per-shape residue is numpy dispatch constants in
-  the merge core — see ROADMAP for the remaining leads.
+  at least ``MIN_SPEEDUP`` times faster than the PR 4 replica: ~4.4x
+  measured on the reference machine's full grid with the fused merge
+  kernel (native backend), up from ~2.4x before fusion (the pre-fusion
+  record is kept in ``benchmarks/baselines/``).  The ratio composes the
+  fused single-pass merge kernel (in-band packed endpoints, one sweep
+  for both widened and narrowed counts), cross-qubit batched rankings
+  over each BFS wave, the process-wide CRN noise-tensor cache, and the
+  cross-architecture ranking memo.  The JSON record carries the active
+  screening backend and the pack/merge/dispute/joint phase breakdown so
+  the perf trajectory can attribute drift to a phase.
 
 Run styles:
 
@@ -47,7 +49,8 @@ from typing import Optional
 sys.path.insert(0, str(Path(__file__).parent))
 
 from repro.benchmarks import get_benchmark
-from repro.collision import reset_screening_stats, screening_stats
+from repro.collision import active_backend, reset_screening_stats, screening_stats
+from repro.collision.screening import PHASE_KEYS
 from repro.design import DesignEngine, FrequencyAllocator, reset_shared_caches
 from repro.design.engine import (
     BusStrategy,
@@ -59,13 +62,20 @@ from repro.design.engine import (
 from _bench_utils import RESULTS_DIR, write_result
 
 #: Minimum acceptable cold-path speedup over the PR 4 scorer replica on
-#: the full grid (~2.6x on the reference machine).
-MIN_SPEEDUP = 2.0
+#: the full grid (~4.4x on the reference machine with the fused native
+#: merge kernel).
+MIN_SPEEDUP = 4.0
+
+#: Full-grid floor when the native kernel is unavailable or disabled:
+#: the pure-numpy fallback runs the same fused algorithm without the
+#: C row sweep (~2x on the reference machine).
+FALLBACK_MIN_SPEEDUP = 1.5
 
 #: Relaxed floor used for the smoke grid and shared CI runners — the
-#: smoke grid shares fewer rankings (fewer seeds and benchmarks, ~1.6x
-#: measured), and the JSON artifact records the true ratio either way,
-#: so the perf trajectory catches slow drift.
+#: smoke grid shares fewer rankings (fewer seeds and benchmarks), CI
+#: runners are noisy, and the forced-numpy fallback leg gives up the
+#: native kernel's edge; the JSON artifact records the true ratio
+#: either way, so the perf trajectory catches slow drift.
 CI_MIN_SPEEDUP = 1.25
 
 #: Ceiling on the fraction of candidate rows the joint kernel may still
@@ -155,10 +165,17 @@ def run_bench(smoke: bool = False, repeats: int = 3) -> dict:
         replica_time = min(replica_time, time.perf_counter() - start)
 
     candidates = max(1, stats.get("candidates", 0))
+    phase_ns = {key: stats.get(key, 0) for key in PHASE_KEYS}
+    screen_ns = max(1, sum(phase_ns.values()))
     return {
         "bench": "screening",
         "smoke": smoke,
         "repeats": repeats,
+        "screening_backend": stats.get("backend"),
+        "screening_phase_ns": phase_ns,
+        "screening_phase_fraction": {
+            key: round(value / screen_ns, 4) for key, value in phase_ns.items()
+        },
         "benchmarks": list(benchmarks),
         "random_bus_seeds": list(seeds),
         "frequency_local_trials": local_trials,
@@ -190,6 +207,12 @@ def render_table(record: dict) -> str:
         f"cold screened session          : {record['cold_screened_time_s'] * 1e3:9.1f} ms",
         f"PR 4 scorer replica            : {record['pr4_replica_time_s'] * 1e3:9.1f} ms",
         f"cold-path speedup              : {record['cold_speedup']}x",
+        f"screening backend              : {record['screening_backend']}",
+        "phase breakdown                : " + "  ".join(
+            f"{key[:-3]} {record['screening_phase_ns'][key] / 1e6:.1f}ms"
+            f" ({record['screening_phase_fraction'][key]:.0%})"
+            for key in record["screening_phase_ns"]
+        ),
         "",
         f"screened ranking calls         : {record['screened_ranking_calls']}",
         f"candidates entering the screen : {record['screened_candidates']}",
@@ -250,7 +273,12 @@ def main(argv=None) -> int:
                              "smoke floor to tolerate noisy shared runners)")
     args = parser.parse_args(argv)
     if args.min_speedup is None:
-        args.min_speedup = CI_MIN_SPEEDUP if args.smoke else MIN_SPEEDUP
+        if args.smoke:
+            args.min_speedup = CI_MIN_SPEEDUP
+        elif active_backend() == "native":
+            args.min_speedup = MIN_SPEEDUP
+        else:
+            args.min_speedup = FALLBACK_MIN_SPEEDUP
     record = run_bench(smoke=args.smoke, repeats=args.repeats)
     write_result("table_screening", render_table(record))
     json_path = _write_json(record, args.json)

@@ -23,11 +23,18 @@ from repro.collision.yield_simulator import (
     collision_index_arrays,
     estimate_yield,
 )
+from repro.collision.merge_kernel import (
+    active_backend,
+    available_backends,
+    fused_union_bounds,
+    set_backend,
+)
 from repro.collision.screening import (
     SCREENING_EPSILON,
     ScreeningBounds,
     reset_screening_stats,
     screen_candidate_bounds,
+    screen_candidate_bounds_batch,
     screening_applicable,
     screening_stats,
 )
@@ -57,8 +64,13 @@ __all__ = [
     "SCREENING_EPSILON",
     "collision_index_arrays",
     "estimate_yield",
+    "active_backend",
+    "available_backends",
+    "fused_union_bounds",
     "reset_screening_stats",
     "screen_candidate_bounds",
+    "screen_candidate_bounds_batch",
     "screening_applicable",
     "screening_stats",
+    "set_backend",
 ]

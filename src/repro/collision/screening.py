@@ -33,6 +33,13 @@ because components are disjoint within a trial that sum over all trials
 *is* the number of failing trials.  No per-candidate work ever touches
 the trial axis.
 
+The sort/sweep/count itself lives in
+:mod:`repro.collision.merge_kernel` as one fused pass over a packed
+endpoint matrix (see that module for the backend registry and the
+``REPRO_SCREENING_BACKEND`` selection); this module owns the physics —
+turning a collision region into interval families — and the epsilon
+bookkeeping that makes the counts safe against float rounding.
+
 Regions with a single event family skip the merge entirely: one
 family's intervals are pairwise disjoint by construction
 (:func:`screening_applicable` checks the threshold geometry), so the
@@ -52,16 +59,44 @@ is handed to the joint kernel instead of being trusted to the bounds;
 everywhere else ``J- == J+`` pins the joint count exactly.
 Correctness never depends on the epsilon being tight, only on it
 exceeding the path's rounding error.
+
+**Why the fused two-threshold merge bounds both spaces.**  The kernel
+merges each trial's sorted intervals twice from one sweep: a *widened*
+component starts where the low-vs-previous-running-max gap exceeds
+``+2 eps``, a *narrowed* one where it exceeds ``-2 eps``.  The upper
+count is valid under *any* set of merge decisions: splitting
+overlapping widened intervals or bridging disjoint ones only ever
+overcounts the widened union, which already contains every kernel
+failure.  The lower count is valid because (a) a gap above ``-2 eps``
+means the narrowed intervals (pulled ``eps`` inward from each side)
+are genuinely disjoint, so the emitted components never overlap and
+their total size never exceeds the narrowed union; and (b) a gap at or
+below ``-2 eps`` means the *true* (pre-float32) intervals genuinely
+overlap — the float32 gap is within ~1e-6 of the true gap (endpoint
+rounding; the subtraction itself is exact near zero by Sterbenz), and
+``2 eps = 1e-5`` clears that with room — so bridging them keeps the
+components inside the narrowed union's span.  Either way ``J- <= J(f)
+<= J+`` holds for every candidate, which is the only property the
+screen-then-verify decision logic relies on.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.collision.conditions import CollisionThresholds
+from repro.collision.merge_kernel import (
+    CLAMP_GHZ,
+    SENTINEL,
+    CandidateBins,
+    active_backend,
+    candidate_bins,
+    fused_union_bounds,
+)
 
 #: Safety margin (GHz) between the interval-count arithmetic and the joint
 #: kernel's float rounding.  The merged-interval matrices are built in
@@ -146,15 +181,30 @@ def _interval_families(
     noise: np.ndarray,
     delta_ghz: float,
     thresholds: CollisionThresholds,
-) -> Tuple[List[Tuple[np.ndarray, Tuple[Tuple[float, float], ...]]], Optional[np.ndarray]]:
+) -> Tuple[
+    np.ndarray,
+    List[Tuple[Tuple[float, float], ...]],
+    Optional[np.ndarray],
+]:
     """The region's deduplicated interval families and constant-event mask.
 
-    Each family is ``(shifts, intervals)``: on trial ``t`` the family's
-    conditions are violated exactly when ``f - shifts[t]`` lies in one of
-    the ``intervals`` (constant, pairwise disjoint).  Families reached
-    through several collision events — e.g. the spectator-difference
-    conditions of two triples sharing the same spectator pair — are
-    emitted once: duplicates change no union.
+    Returns ``(shift_matrix, interval_lists, const_mask)``: column ``f``
+    of the ``(trials, families)`` float64 shift matrix belongs to the
+    family whose conditions are violated on trial ``t`` exactly when
+    ``f_candidate - shift_matrix[t, f]`` lies in one of
+    ``interval_lists[f]`` (constant, pairwise disjoint).  Families
+    reached through several collision events — e.g. the
+    spectator-difference conditions of two triples sharing the same
+    spectator pair — are emitted once: duplicates change no union.
+    All family shifts of one kind are computed as a single broadcast
+    expression (one vectorized pass per kind instead of one numpy chain
+    per family), with elementwise arithmetic identical to the per-family
+    formulation.
+
+    Open-ended tails (``|x| > c34`` and the far condition-6 band) are
+    clamped to ``+-``:data:`CLAMP_GHZ` — far outside any candidate band,
+    so no merge decision or candidate count changes — keeping the packed
+    merge kernel free of non-finite arithmetic.
 
     The returned mask (or None) marks trials failing a *constant* event:
     spectator-spectator conditions of triples centred on the scanned
@@ -166,7 +216,7 @@ def _interval_families(
     c2 = -delta_ghz / 2.0
     c34 = -delta_ghz - t.condition_3_ghz
     c6 = -delta_ghz
-    inf = np.inf
+    clamp = CLAMP_GHZ
 
     # Pair conditions 1-4 folded onto the signed difference axis x:
     # x in (-t1, t1) u +-(c2 -+ t2, c2 +- t2) u {|x| > c34}.  The set is
@@ -176,8 +226,8 @@ def _interval_families(
         (-t.condition_1_ghz, t.condition_1_ghz),
         (c2 - t.condition_2_ghz, c2 + t.condition_2_ghz),
         (-c2 - t.condition_2_ghz, -c2 + t.condition_2_ghz),
-        (c34, inf),
-        (-inf, -c34),
+        (c34, clamp),
+        (-clamp, -c34),
     )
     # Triple conditions 5-6 on the spectator difference x = f_i - f_k
     # (also symmetric in x).
@@ -186,146 +236,106 @@ def _interval_families(
         (c6 - t.condition_6_ghz, c6 + t.condition_6_ghz),
         (-c6 - t.condition_6_ghz, -c6 + t.condition_6_ghz),
     )
+    c7_centre_intervals = ((-0.5 * t.condition_7_ghz, 0.5 * t.condition_7_ghz),)
+    c7_spectator_intervals = ((-t.condition_7_ghz, t.condition_7_ghz),)
 
     q = int(qubit_index)
-    families: Dict[Tuple, Tuple[np.ndarray, Tuple[Tuple[float, float], ...]]] = {}
-    const_mask: Optional[np.ndarray] = None
+    # Group the deduplicated families by kind; each kind's shifts are one
+    # broadcast expression over its member columns.
+    difference_others: List[int] = []     # x = f + n_q - f_other^s ...
+    difference_intervals: List[Tuple] = []  # ... against pair or spectator sets
+    seen_pair = set()
+    seen_spectator = set()
+    centre_pairs: List[Tuple[int, int]] = []       # ("c7-centre", i, k)
+    seen_centre = set()
+    spectator_jo: List[Tuple[int, int]] = []       # ("c7-spectator", j, other)
+    seen_spectator_jo = set()
+    const_pairs: List[Tuple[int, int]] = []        # spectator-spectator events
 
     for a, b in pairs:
         other = int(b) if int(a) == q else int(a)
         # x = (f + noise_q) - (base_other + noise_other):
         # f - shift_t in interval  <=>  x in interval.
-        key = ("pair", other)
-        if key not in families:
-            shifts = base[other] + noise[:, other] - noise[:, q]
-            families[key] = (shifts, pair_intervals)
+        if other not in seen_pair:
+            seen_pair.add(other)
+            difference_others.append(other)
+            difference_intervals.append(pair_intervals)
 
     for j, i, k in triples:
         j, i, k = int(j), int(i), int(k)
         if q == j:
             # Conditions 5-6 involve only the two (assigned) spectators:
             # a constant event, evaluated with the kernel's arithmetic.
-            diff = np.abs((base[i] - base[k]) + (noise[:, i] - noise[:, k]))
-            hit = diff < t.condition_5_ghz
-            hit |= np.abs(diff - c6) < t.condition_6_ghz
-            const_mask = hit if const_mask is None else (const_mask | hit)
+            const_pairs.append((i, k))
             # Condition 7: |2(f + n_j) + delta - f_i^s - f_k^s| < t7
             # <=>  f - shift_t in (-t7/2, t7/2).
-            key = ("c7-centre", min(i, k), max(i, k))
-            if key not in families:
-                shifts = 0.5 * (
-                    (base[i] + base[k] - delta_ghz)
-                    + (noise[:, i] + noise[:, k] - 2.0 * noise[:, q])
-                )
-                families[key] = (
-                    shifts, ((-0.5 * t.condition_7_ghz, 0.5 * t.condition_7_ghz),)
-                )
+            key = (min(i, k), max(i, k))
+            if key not in seen_centre:
+                seen_centre.add(key)
+                centre_pairs.append((i, k))
         else:
             other = k if q == i else i
             # Spectator difference x = +-(f + noise_q - f_other^s).
-            key = ("spectator", other)
-            if key not in families:
-                shifts = base[other] + noise[:, other] - noise[:, q]
-                families[key] = (shifts, spectator_intervals)
+            if other not in seen_spectator:
+                seen_spectator.add(other)
+                difference_others.append(other)
+                difference_intervals.append(spectator_intervals)
             # Condition 7 with the scanned qubit as a spectator:
             # |2 f_j^s + delta - f_other^s - (f + n_q)| < t7
             # <=>  f - shift_t in (-t7, t7).
-            key = ("c7-spectator", j, other)
-            if key not in families:
-                shifts = (
-                    (2.0 * base[j] + delta_ghz - base[other])
-                    + (2.0 * noise[:, j] - noise[:, other] - noise[:, q])
-                )
-                families[key] = (
-                    shifts, ((-t.condition_7_ghz, t.condition_7_ghz),)
-                )
+            if (j, other) not in seen_spectator_jo:
+                seen_spectator_jo.add((j, other))
+                spectator_jo.append((j, other))
 
-    return list(families.values()), const_mask
+    noise_q = noise[:, q]
+    columns: List[np.ndarray] = []
+    interval_lists: List[Tuple[Tuple[float, float], ...]] = []
 
-
-class _CandidateBins:
-    """Maps interval endpoints to per-candidate membership counts.
-
-    ``counts(lows, highs)`` returns ``#{j : lows[j] < f < highs[j]}``
-    for every candidate ``f`` of the (ascending) grid.  Valid for any
-    interval collection with ``lows[j] < highs[j]`` (the identity
-    ``[lo < f < hi] = [lo < f] - [hi <= f]`` holds per interval); when
-    the intervals are pairwise disjoint within a trial, summing over a
-    trial's intervals counts membership in their union.
-
-    No endpoint is ever sorted: each lands in a candidate bin — by a
-    multiply-floor on the uniform allocator grid, or one
-    ``searchsorted`` against the few-dozen-entry grid otherwise — and a
-    cumulative histogram turns bins into per-candidate counts.  The grid
-    and the binning arithmetic stay in float64, so binning adds rounding
-    far below even :data:`SINGLE_FAMILY_EPSILON`; float32 *endpoint*
-    arrays (the merged path's matrices) are covered by the larger
-    :data:`SCREENING_EPSILON` their path uses.  Exact grid/endpoint
-    coincidences therefore always stay inside the widened/narrowed
-    uncertainty the caller accounts for.
-    """
-
-    def __init__(self, candidates: np.ndarray) -> None:
-        self.num = candidates.shape[0]
-        self.candidates = np.asarray(candidates, dtype=float)
-        steps = np.diff(self.candidates)
-        self.uniform = steps.size > 0 and bool(
-            (np.abs(steps - steps[0]) < 1e-9 * max(1.0, abs(steps[0]))).all()
+    if difference_others:
+        shifts = (
+            base[difference_others][None, :] + noise[:, difference_others]
+        ) - noise_q[:, None]
+        columns.append(shifts)
+        interval_lists.extend(difference_intervals)
+    if centre_pairs:
+        ii = [i for i, _ in centre_pairs]
+        kk = [k for _, k in centre_pairs]
+        shifts = 0.5 * (
+            (base[ii] + base[kk] - delta_ghz)[None, :]
+            + ((noise[:, ii] + noise[:, kk]) - 2.0 * noise_q[:, None])
         )
-        if self.uniform:
-            self.origin = float(self.candidates[0])
-            self.inverse_step = float(1.0 / steps[0])
-
-    def _start_bins(self, lows: np.ndarray) -> np.ndarray:
-        """Per endpoint: the first candidate index with ``f > lo``."""
-        if not self.uniform:
-            return np.searchsorted(self.candidates, lows, side="right")
-        raw = np.floor((lows - self.origin) * self.inverse_step) + 1.0
-        return np.clip(raw, 0, self.num).astype(np.int64)
-
-    def _end_bins(self, highs: np.ndarray) -> np.ndarray:
-        """Per endpoint: the first candidate index with ``f >= hi``."""
-        if not self.uniform:
-            return np.searchsorted(self.candidates, highs, side="left")
-        raw = np.ceil((highs - self.origin) * self.inverse_step)
-        return np.clip(raw, 0, self.num).astype(np.int64)
-
-    def counts(self, lows: np.ndarray, highs: np.ndarray) -> np.ndarray:
-        num = self.num
-        # [lo_j < f_c]  <=>  c >= start_bin_j;  [hi_j <= f_c]  <=>  c >= end_bin_j.
-        started = np.cumsum(
-            np.bincount(self._start_bins(lows), minlength=num + 1)[:num]
+        columns.append(shifts)
+        interval_lists.extend([c7_centre_intervals] * len(centre_pairs))
+    if spectator_jo:
+        jj = [j for j, _ in spectator_jo]
+        oo = [o for _, o in spectator_jo]
+        shifts = (
+            (2.0 * base[jj] + delta_ghz - base[oo])[None, :]
+            + ((2.0 * noise[:, jj] - noise[:, oo]) - noise_q[:, None])
         )
-        ended = np.cumsum(
-            np.bincount(self._end_bins(highs), minlength=num + 1)[:num]
-        )
-        return started - ended
+        columns.append(shifts)
+        interval_lists.extend([c7_spectator_intervals] * len(spectator_jo))
 
-    def bound_counts(
-        self, lows: np.ndarray, highs: np.ndarray, epsilon
-    ) -> Tuple[np.ndarray, np.ndarray]:
-        """(upper, lower) membership counts of intervals widened and
-        narrowed by ``epsilon``, in one fused binning pass (the widened
-        and narrowed endpoint arrays share segmented histograms)."""
-        num = self.num
-        size = lows.shape[0]
-        start_bins = self._start_bins(np.concatenate((lows - epsilon, lows + epsilon)))
-        end_bins = self._end_bins(np.concatenate((highs + epsilon, highs - epsilon)))
-        start_bins[size:] += num + 1
-        end_bins[size:] += num + 1
-        started = np.bincount(
-            start_bins, minlength=2 * (num + 1)
-        ).reshape(2, num + 1)[:, :num].cumsum(axis=1)
-        ended = np.bincount(
-            end_bins, minlength=2 * (num + 1)
-        ).reshape(2, num + 1)[:, :num].cumsum(axis=1)
-        diff = started - ended
-        return diff[0], diff[1]
+    const_mask: Optional[np.ndarray] = None
+    if const_pairs:
+        ii = [i for i, _ in const_pairs]
+        kk = [k for _, k in const_pairs]
+        diff = np.abs((base[ii] - base[kk])[None, :] + (noise[:, ii] - noise[:, kk]))
+        hit = diff < t.condition_5_ghz
+        hit |= np.abs(diff - c6) < t.condition_6_ghz
+        const_mask = hit.any(axis=1)
+
+    if columns:
+        shift_matrix = columns[0] if len(columns) == 1 else np.concatenate(columns, axis=1)
+    else:
+        shift_matrix = np.empty((noise.shape[0], 0), dtype=float)
+    return shift_matrix, interval_lists, const_mask
 
 
 def _single_family_counts(
-    bins: _CandidateBins,
-    family: Tuple[np.ndarray, Tuple[Tuple[float, float], ...]],
+    bins: CandidateBins,
+    shifts: np.ndarray,
+    intervals: Tuple[Tuple[float, float], ...],
     epsilon: float = SINGLE_FAMILY_EPSILON,
 ) -> Tuple[np.ndarray, np.ndarray]:
     """(lower, upper) counts for a region with one interval family.
@@ -337,7 +347,6 @@ def _single_family_counts(
     :data:`SINGLE_FAMILY_EPSILON` applies and the bounds pin the joint
     count for essentially every candidate.
     """
-    shifts, intervals = family
     xlo = np.array([pair[0] for pair in intervals])
     xhi = np.array([pair[1] for pair in intervals])
     lows = (shifts[:, None] + xlo[None, :]).ravel()
@@ -347,149 +356,200 @@ def _single_family_counts(
     # here (widths exceed 2 * epsilon by screening_applicable), but the
     # sum over intervals is clamped for symmetry with the merged path.
     np.maximum(lower, 0, out=lower)
-    return lower, upper
-
-
-def _merged_counts(
-    bins: _CandidateBins,
-    families: Sequence[Tuple[np.ndarray, Tuple[Tuple[float, float], ...]]],
-    epsilon: float,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """(lower, upper) merged-union counts across several interval families.
-
-    Builds the ``(trials, total_intervals)`` endpoint matrices (float32
-    — the pass is sort/scan bound, and :data:`SCREENING_EPSILON` sits
-    several times above float32 rounding at band frequencies), sorts
-    each trial's intervals by their low endpoint, and merges overlaps
-    with a running maximum of high endpoints into *disjoint* components.
-    Counting those components with endpoints pushed ``epsilon`` outward
-    yields the exact size of the *widened* union (an upper bound on the
-    joint kernel's failing-trial count) and pulled ``epsilon`` inward
-    the exact size of the *narrowed* union (a lower bound) — the two
-    agree, pinning the joint count, away from epsilon boundaries.
-
-    One merge decides both spaces: on a trial where every
-    low-vs-previous-high gap clears the ``2 * epsilon`` dispute window,
-    widening or narrowing endpoints flips no merge decision, so the
-    plain components are simultaneously the widened-space and
-    narrowed-space merges.  The rare trials with an in-window gap are
-    excluded and re-merged per space in :func:`_disputed_counts`.
-    """
-    trials = families[0][0].shape[0]
-    num_families = len(families)
-    shift_matrix = np.empty((trials, num_families), dtype=np.float32)
-    family_of_column = []
-    column_lo = []
-    column_hi = []
-    for index, (shifts, intervals) in enumerate(families):
-        shift_matrix[:, index] = shifts
-        for xlo, xhi in intervals:
-            family_of_column.append(index)
-            column_lo.append(xlo)
-            column_hi.append(xhi)
-    gathered = shift_matrix[:, family_of_column]
-    lows = gathered + np.array(column_lo, dtype=np.float32)[None, :]
-    highs = gathered + np.array(column_hi, dtype=np.float32)[None, :]
-
-    order = np.argsort(lows, axis=1)
-    order += (np.arange(trials) * order.shape[1])[:, None]
-    lows = lows.ravel()[order]
-    highs = highs.ravel()[order]
-    running_max = np.maximum.accumulate(highs, axis=1)
-    # Gap between each interval's low and every previous high of its
-    # trial.  Lower-tail intervals put -inf in ``lows``; a finite first
-    # column keeps (-inf) - (-inf) NaNs out.
-    gap = np.empty_like(lows)
-    gap[:, 0] = np.float32(3.0e38)
-    np.subtract(lows[:, 1:], running_max[:, :-1], out=gap[:, 1:])
-
-    eps = np.float32(epsilon)
-    # Merge decisions are shared between the widened and narrowed spaces
-    # whenever the low-vs-previous-high gap clears 2 * epsilon; the
-    # window is tested with an extra epsilon of slack so float32 rounding
-    # of the gap itself can never hide a genuine dispute.
-    window = np.float32(3.0 * epsilon)
-    disputed = (np.abs(gap) <= window).any(axis=1)
-    any_disputed = bool(disputed.any())
-
-    # One merge pass decides the components: an interval starts a new
-    # component when its low clears every previous high, and the
-    # component's high is the running maximum at its last member (the
-    # start condition makes every earlier high smaller, so the running
-    # maximum inside a component is the component's own).  On trials
-    # free of disputes the same components are exactly the widened-space
-    # and narrowed-space merges, so counting them with endpoints pushed
-    # epsilon outward/inward yields the two unions' exact sizes.
-    starts = gap > np.float32(0.0)
-    starts[:, 0] = True
-    if any_disputed:
-        # Trials whose merge decisions sit inside the dispute window are
-        # excluded here and re-merged with per-space margins below.
-        starts &= ~disputed[:, None]
-    ends = np.empty_like(starts)
-    ends[:, :-1] = starts[:, 1:]
-    ends[:, -1] = True
-    if any_disputed:
-        ends[disputed, -1] = False
-    upper, lower = bins.bound_counts(lows[starts], running_max[ends], eps)
-    if any_disputed:
-        upper_d, lower_d = _disputed_counts(
-            bins, lows[disputed], running_max[disputed], gap[disputed], eps
-        )
-        upper += upper_d
-        lower += lower_d
-    # A narrowed component can collapse (or a candidate can sit in a
-    # widened-only sliver); the joint count is never negative and never
-    # below the narrowed count wherever both are meaningful.
-    np.maximum(lower, 0, out=lower)
     return lower.astype(np.int64), upper.astype(np.int64)
 
 
-def _disputed_counts(
-    bins: _CandidateBins,
-    lows: np.ndarray,
-    running_max: np.ndarray,
-    gap: np.ndarray,
-    eps: np.float32,
-) -> Tuple[np.ndarray, np.ndarray]:
-    """(upper, lower) contributions of the dispute-window trials.
+class _PreparedRegion:
+    """One region's screen input after family building and band filtering."""
 
-    The trials re-merge on a tiny submatrix, each space with its own
-    decision boundary: widened intervals touch when the raw gap is at
-    most ``+2 * eps``, narrowed ones when it is at most ``-2 * eps``.
-    Any margin keeps the *upper* count valid (splitting overlapping
-    widened intervals or bridging disjoint ones only overcounts the
-    widened union, which exceeds the kernel's failing set either way).
-    The *lower* count is only valid when every merge decision is truly
-    resolved, so trials with a gap inside the float32 rounding band of
-    the narrowed boundary surrender their (at most one) count instead
-    of risking an overcount.
+    __slots__ = ("events", "constant", "single", "lows", "highs")
+
+    def __init__(self, events, constant, single, lows, highs):
+        self.events = events          # family count incl. constant event
+        self.constant = constant      # trials failing a constant event
+        self.single = single          # (shifts, intervals) or None
+        self.lows = lows              # (kept_trials, columns) float32 or None
+        self.highs = highs
+
+
+def _prepare_region(
+    candidates: np.ndarray,
+    qubit_index: int,
+    base: np.ndarray,
+    pairs: np.ndarray,
+    triples: np.ndarray,
+    noise: np.ndarray,
+    delta_ghz: float,
+    thresholds: CollisionThresholds,
+    epsilon: float,
+) -> _PreparedRegion:
+    """Build one region's interval matrices, ready for the fused kernel."""
+    shift_matrix, interval_lists, const_mask = _interval_families(
+        qubit_index, base, pairs, triples, noise, delta_ghz, thresholds
+    )
+    events = len(interval_lists)
+
+    constant = 0
+    if const_mask is not None:
+        events += 1
+        constant = int(const_mask.sum())
+        if constant:
+            # Trials failing a candidate-independent event fail for every
+            # candidate: count them once and keep only the rest, so the
+            # interval unions never double-count them.
+            shift_matrix = shift_matrix[~const_mask]
+
+    # Drop interval columns no trial can land on a candidate: most
+    # families carry carve-outs (the |x| > c34 tails, the far c6 band)
+    # whose translates sit entirely outside the allowed frequency band,
+    # and the merge pass is linear in the columns it has to sort.
+    margin = 4.0 * epsilon
+    band_lo = candidates[0] - margin if candidates.size else 0.0
+    band_hi = candidates[-1] + margin if candidates.size else 0.0
+    kept: List[Tuple[int, Tuple[Tuple[float, float], ...]]] = []
+    if shift_matrix.shape[0] and shift_matrix.shape[1]:
+        shift_min = shift_matrix.min(axis=0)
+        shift_max = shift_matrix.max(axis=0)
+        for column, intervals in enumerate(interval_lists):
+            in_band = tuple(
+                (xlo, xhi) for xlo, xhi in intervals
+                if xlo + shift_min[column] < band_hi
+                and xhi + shift_max[column] > band_lo
+            )
+            if in_band:
+                kept.append((column, in_band))
+
+    if not kept:
+        return _PreparedRegion(events, constant, None, None, None)
+    if len(kept) == 1:
+        column, intervals = kept[0]
+        return _PreparedRegion(
+            events, constant, (shift_matrix[:, column], intervals), None, None
+        )
+
+    families: List[int] = []
+    column_lo: List[float] = []
+    column_hi: List[float] = []
+    for column, intervals in kept:
+        for xlo, xhi in intervals:
+            families.append(column)
+            column_lo.append(xlo)
+            column_hi.append(xhi)
+    family_of_column = np.array(families, dtype=np.intp)
+    lo_offsets = np.array(column_lo, dtype=np.float32)
+    hi_offsets = np.array(column_hi, dtype=np.float32)
+    # Pre-order columns by the first trial's interval lows: rows differ
+    # only by per-trial noise, so every row arrives nearly sorted and
+    # the merge kernels' sorts run at their adaptive best case.  Column
+    # order is immaterial to the result — each backend fully sorts the
+    # packed endpoints per row before merging.
+    shift32 = shift_matrix.astype(np.float32)
+    order = np.argsort(shift32[0, family_of_column] + lo_offsets, kind="stable")
+    family_of_column = family_of_column[order]
+    gathered = shift32[:, family_of_column]
+    lows = gathered + lo_offsets[order][None, :]
+    highs = gathered + hi_offsets[order][None, :]
+    return _PreparedRegion(events, constant, None, lows, highs)
+
+
+def screen_candidate_bounds_batch(
+    candidates: np.ndarray,
+    regions: Sequence[Tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]],
+    delta_ghz: float,
+    thresholds: CollisionThresholds,
+    epsilon: float = SCREENING_EPSILON,
+) -> List[ScreeningBounds]:
+    """Joint-count bounds for many local regions in one fused kernel call.
+
+    The cross-qubit batched ranking path: every region shares the
+    candidate grid, and all multi-family regions stack their interval
+    matrices — rows tagged with a per-region slot, columns padded to a
+    common width with :data:`~repro.collision.merge_kernel.SENTINEL`
+    intervals that count nothing — into a single
+    :func:`~repro.collision.merge_kernel.fused_union_bounds` invocation,
+    amortizing kernel dispatch across a whole BFS frontier.  Each
+    region's bounds are identical to its own
+    :func:`screen_candidate_bounds` call: the per-slot merge never mixes
+    rows of different regions.
+
+    Args:
+        candidates: Shared candidate frequencies, ascending.
+        regions: Per scanned qubit: ``(qubit_index, base_frequencies,
+            pairs, triples, noise)`` exactly as accepted by
+            :func:`screen_candidate_bounds`.
+        delta_ghz, thresholds, epsilon: As for
+            :func:`screen_candidate_bounds`.
     """
-
-    def merge(low_matrix, max_matrix, gap_matrix, margin, sign):
-        starts = gap_matrix > margin
-        starts[:, 0] = True
-        ends = np.empty_like(starts)
-        ends[:, :-1] = starts[:, 1:]
-        ends[:, -1] = True
-        return bins.counts(
-            low_matrix[starts] - sign * eps, max_matrix[ends] + sign * eps
+    pack_started = time.perf_counter_ns()
+    candidates = np.asarray(candidates, dtype=float)
+    bins = candidate_bins(candidates)
+    prepared = [
+        _prepare_region(
+            candidates, qubit_index, np.asarray(base, dtype=float),
+            pairs, triples, noise, delta_ghz, thresholds, epsilon,
         )
+        for qubit_index, base, pairs, triples, noise in regions
+    ]
 
-    two_eps = np.float32(2.0) * eps
-    upper = merge(lows, running_max, gap, two_eps, np.float32(1.0))
-    # Gaps within float32 rounding of the narrowed decision boundary are
-    # genuinely undecidable; skip those trials in the lower count.
-    undecidable = (np.abs(gap + two_eps) <= np.float32(4e-6)).any(axis=1)
-    decidable = ~undecidable
-    if decidable.any():
-        lower = merge(
-            lows[decidable], running_max[decidable], gap[decidable],
-            -two_eps, np.float32(-1.0),
+    merged = [region for region in prepared if region.lows is not None]
+    slot_of: Dict[int, int] = {
+        id(region): slot for slot, region in enumerate(merged)
+    }
+    lower_merged = upper_merged = None
+    merge_ns = 0
+    if merged:
+        width = max(region.lows.shape[1] for region in merged)
+        rows = sum(region.lows.shape[0] for region in merged)
+        lows = np.empty((rows, width), dtype=np.float32)
+        highs = np.empty((rows, width), dtype=np.float32)
+        slots = np.empty(rows, dtype=np.int64)
+        cursor = 0
+        for slot, region in enumerate(merged):
+            count, cols = region.lows.shape
+            lows[cursor:cursor + count, :cols] = region.lows
+            highs[cursor:cursor + count, :cols] = region.highs
+            if cols < width:  # sentinel intervals sort last, count nothing
+                lows[cursor:cursor + count, cols:] = SENTINEL
+                highs[cursor:cursor + count, cols:] = SENTINEL
+            slots[cursor:cursor + count] = slot
+            cursor += count
+        merge_started = time.perf_counter_ns()
+        pack_ns = merge_started - pack_started
+        lower_merged, upper_merged = fused_union_bounds(
+            lows, highs, slots, len(merged), bins, epsilon
         )
+        merge_ns = time.perf_counter_ns() - merge_started
     else:
-        lower = np.zeros(bins.num, dtype=np.int64)
-    return upper, lower
+        pack_ns = time.perf_counter_ns() - pack_started
+
+    results: List[ScreeningBounds] = []
+    for region in prepared:
+        if region.lows is not None:
+            slot = slot_of[id(region)]
+            lower = lower_merged[slot].copy()
+            upper = upper_merged[slot].copy()
+        elif region.single is not None:
+            started = time.perf_counter_ns()
+            shifts, intervals = region.single
+            lower, upper = _single_family_counts(bins, shifts, intervals)
+            merge_ns += time.perf_counter_ns() - started
+        else:
+            lower = np.zeros(candidates.shape[0], dtype=np.int64)
+            upper = lower.copy()
+        if region.constant:
+            lower += region.constant
+            upper += region.constant
+        results.append(
+            ScreeningBounds(lower=lower, upper=upper, events=region.events)
+        )
+    _STATS["pack_ns"] += pack_ns
+    _STATS["merge_ns"] += merge_ns
+    from repro.runtime.metrics import global_metrics
+
+    metrics = global_metrics()
+    metrics.observe("screening/pack", pack_ns * 1e-9)
+    metrics.observe("screening/merge", merge_ns * 1e-9)
+    return results
 
 
 def screen_candidate_bounds(
@@ -522,61 +582,17 @@ def screen_candidate_bounds(
         thresholds: Collision thresholds.
         epsilon: Float-safety margin (see module docstring).
     """
-    candidates = np.asarray(candidates, dtype=float)
-    base = np.asarray(base_frequencies, dtype=float)
-    families, const_mask = _interval_families(
-        qubit_index, base, pairs, triples, noise, delta_ghz, thresholds
-    )
-    events = len(families)
-
-    constant = 0
-    if const_mask is not None:
-        events += 1
-        constant = int(const_mask.sum())
-        if constant:
-            # Trials failing a candidate-independent event fail for every
-            # candidate: count them once and keep only the rest, so the
-            # interval unions never double-count them.
-            keep = ~const_mask
-            families = [(shifts[keep], intervals) for shifts, intervals in families]
-
-    # Drop interval columns no trial can land on a candidate: most
-    # families carry carve-outs (the |x| > c34 tails, the far c6 band)
-    # whose translates sit entirely outside the allowed frequency band,
-    # and the merge pass is linear in the columns it has to sort.
-    margin = 4.0 * epsilon
-    band_lo = candidates[0] - margin if candidates.size else 0.0
-    band_hi = candidates[-1] + margin if candidates.size else 0.0
-    in_band = []
-    for shifts, intervals in families:
-        if shifts.size == 0:
-            continue
-        shift_min = shifts.min()
-        shift_max = shifts.max()
-        kept = tuple(
-            (xlo, xhi) for xlo, xhi in intervals
-            if xlo + shift_min < band_hi and xhi + shift_max > band_lo
-        )
-        if kept:
-            in_band.append((shifts, kept))
-    families = in_band
-
-    if not families:
-        lower = np.full(candidates.shape[0], constant, dtype=np.int64)
-        return ScreeningBounds(lower=lower, upper=lower.copy(), events=events)
-    bins = _CandidateBins(candidates)
-    if len(families) == 1:
-        lower, upper = _single_family_counts(bins, families[0])
-    else:
-        lower, upper = _merged_counts(bins, families, epsilon)
-    lower += constant
-    upper += constant
-    return ScreeningBounds(lower=lower, upper=upper, events=events)
+    return screen_candidate_bounds_batch(
+        candidates,
+        [(qubit_index, base_frequencies, pairs, triples, noise)],
+        delta_ghz, thresholds, epsilon,
+    )[0]
 
 
 # ---------------------------------------------------------------------------
 # Process-wide screening instrumentation (mirrors allocation_call_count):
-# the benchmarks and tests read pruned-candidate fractions from here.
+# the benchmarks and tests read pruned-candidate fractions and the
+# cold-path phase breakdown from here.
 # ---------------------------------------------------------------------------
 
 _STATS: Dict[str, int] = {
@@ -585,39 +601,75 @@ _STATS: Dict[str, int] = {
     "exact": 0,        # candidates decided by tight bounds alone
     "verified": 0,     # candidates verified by the joint kernel
     "pruned": 0,       # candidates provably discarded without verification
+    "pack_ns": 0,      # family building + endpoint matrix packing
+    "merge_ns": 0,     # fused merge kernel (sort + sweep + count)
+    "dispute_ns": 0,   # survivor selection among undecided candidates
+    "joint_ns": 0,     # joint-kernel verification of survivors
 }
 
+#: The phase-timer keys of :data:`_STATS`, in reporting order.
+PHASE_KEYS = ("pack_ns", "merge_ns", "dispute_ns", "joint_ns")
 
-def record_screening(candidates: int, exact: int, verified: int, pruned: int) -> None:
-    """Accumulate one screened ranking call into the process-wide stats.
 
-    The same totals are mirrored into the structured metrics registry
-    (:mod:`repro.runtime.metrics`) so ``--metrics-out`` reports prune
-    fractions merged across sweep workers.
+def record_screening(
+    candidates: int,
+    exact: int,
+    verified: int,
+    pruned: int,
+    *,
+    calls: int = 1,
+    dispute_ns: int = 0,
+    joint_ns: int = 0,
+) -> None:
+    """Accumulate one screened ranking (or batch of them) into the stats.
+
+    ``pack_ns``/``merge_ns`` accumulate at the kernel call site
+    (:func:`screen_candidate_bounds_batch`); the decision/verification
+    phases are timed by the caller and land here.  The same totals are
+    mirrored into the structured metrics registry
+    (:mod:`repro.runtime.metrics`) in one locked update, so
+    ``--metrics-out`` reports prune fractions and the phase breakdown
+    merged associatively across sweep workers.
     """
-    _STATS["calls"] += 1
+    _STATS["calls"] += calls
     _STATS["candidates"] += candidates
     _STATS["exact"] += exact
     _STATS["verified"] += verified
     _STATS["pruned"] += pruned
+    _STATS["dispute_ns"] += dispute_ns
+    _STATS["joint_ns"] += joint_ns
     from repro.runtime.metrics import global_metrics
 
     metrics = global_metrics()
-    metrics.increment("screening/calls")
-    metrics.increment("screening/candidates", candidates)
-    metrics.increment("screening/exact", exact)
-    metrics.increment("screening/verified", verified)
-    metrics.increment("screening/pruned", pruned)
+    metrics.increment_many({
+        "screening/calls": calls,
+        "screening/candidates": candidates,
+        "screening/exact": exact,
+        "screening/verified": verified,
+        "screening/pruned": pruned,
+        f"screening/backend/{active_backend()}": calls,
+    })
+    # Wall-time phases ride the timer section: timers merge associatively
+    # across workers exactly like counters, but are exempt from the
+    # counter-delta determinism contract (wall time never repeats).
+    metrics.observe("screening/dispute", dispute_ns * 1e-9)
+    metrics.observe("screening/joint", joint_ns * 1e-9)
 
 
-def screening_stats() -> Dict[str, int]:
-    """Process-wide screening counters (see :func:`record_screening`)."""
-    return dict(_STATS)
+def screening_stats() -> Dict[str, object]:
+    """Process-wide screening counters (see :func:`record_screening`).
+
+    Includes the per-phase cold-path timers (:data:`PHASE_KEYS`) and the
+    active merge-kernel ``backend`` name.
+    """
+    stats: Dict[str, object] = dict(_STATS)
+    stats["backend"] = active_backend()
+    return stats
 
 
-def reset_screening_stats() -> Dict[str, int]:
+def reset_screening_stats() -> Dict[str, object]:
     """Zero the process-wide screening counters; returns the previous values."""
-    previous = dict(_STATS)
+    previous = screening_stats()
     for key in _STATS:
         _STATS[key] = 0
     return previous

@@ -21,6 +21,7 @@ overhead.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
@@ -38,6 +39,7 @@ from repro.collision.screening import (
     ScreeningBounds,
     record_screening,
     screen_candidate_bounds,
+    screen_candidate_bounds_batch,
     screening_applicable,
 )
 from repro.hardware.architecture import Architecture
@@ -410,20 +412,45 @@ class YieldSimulator:
                 drawn from this simulator's seed when omitted.
             max_chunk_elements: Chunk bound for the verification kernel.
         """
-        candidates = _ascending_candidates(candidates)
-        base = np.asarray(base_frequencies, dtype=float)
-        num_candidates = candidates.shape[0]
-        pairs_array, triples_array = collision_index_arrays(pairs, triples)
-        if pairs_array.size == 0 and triples_array.size == 0:
-            return ScreenedCounts(
-                counts=np.zeros(num_candidates, dtype=np.int64),
-                known=np.ones(num_candidates, dtype=bool),
-                bounds=None, verified=0, pruned=0,
-            )
-        if noise is None:
-            noise = self._draw_noise(base.shape[0])
+        return self.screened_failure_counts_batch(
+            candidates,
+            [(qubit_index, base_frequencies, pairs, triples, noise)],
+            max_chunk_elements=max_chunk_elements,
+        )[0]
 
-        def verify(rows: np.ndarray) -> np.ndarray:
+    def screened_failure_counts_batch(
+        self,
+        candidates: np.ndarray,
+        regions: Sequence[
+            Tuple[int, np.ndarray, Sequence, Sequence, Optional[np.ndarray]]
+        ],
+        max_chunk_elements: int = DEFAULT_CHUNK_ELEMENTS,
+    ) -> List[ScreenedCounts]:
+        """Screen-then-verify rankings for many scanned qubits at once.
+
+        The cross-qubit batched form of :meth:`screened_failure_counts`:
+        all regions screen through one fused merge-kernel invocation
+        (:func:`repro.collision.screening.screen_candidate_bounds_batch`),
+        then each region's survivors are verified with its own joint
+        kernel pass.  Per region the result is bit-identical to a
+        sequential :meth:`screened_failure_counts` call — regions never
+        share rows in the merge, and verification uses each region's own
+        noise tensor — so callers are free to batch any set of rankings
+        whose inputs do not depend on each other's outcomes.
+
+        Args:
+            candidates: Shared candidate grid, strictly ascending.
+            regions: Per scanned qubit: ``(qubit_index, base_frequencies,
+                pairs, triples, noise)`` with the same meaning as the
+                :meth:`screened_failure_counts` arguments (``noise`` may
+                be None to draw from the simulator's seed).
+            max_chunk_elements: Chunk bound for the verification kernel.
+        """
+        candidates = _ascending_candidates(candidates)
+        num_candidates = candidates.shape[0]
+        results: List[Optional[ScreenedCounts]] = [None] * len(regions)
+
+        def verify(rows, qubit_index, base, pairs_array, triples_array, noise):
             batch = np.repeat(base[None, :], rows.shape[0], axis=0)
             batch[:, qubit_index] = candidates[rows]
             return self.failure_counts(
@@ -431,41 +458,88 @@ class YieldSimulator:
                 max_chunk_elements=max_chunk_elements,
             )
 
-        if not self.screening_enabled():
-            all_rows = np.arange(num_candidates)
-            return ScreenedCounts(
-                counts=verify(all_rows),
-                known=np.ones(num_candidates, dtype=bool),
-                bounds=None, verified=num_candidates, pruned=0,
+        enabled = self.screening_enabled()
+        screenable = []
+        for position, (qubit_index, base_frequencies, pairs, triples, noise) in (
+            enumerate(regions)
+        ):
+            base = np.asarray(base_frequencies, dtype=float)
+            pairs_array, triples_array = collision_index_arrays(pairs, triples)
+            if pairs_array.size == 0 and triples_array.size == 0:
+                results[position] = ScreenedCounts(
+                    counts=np.zeros(num_candidates, dtype=np.int64),
+                    known=np.ones(num_candidates, dtype=bool),
+                    bounds=None, verified=0, pruned=0,
+                )
+                continue
+            if noise is None:
+                noise = self._draw_noise(base.shape[0])
+            if not enabled:
+                all_rows = np.arange(num_candidates)
+                results[position] = ScreenedCounts(
+                    counts=verify(
+                        all_rows, qubit_index, base, pairs_array,
+                        triples_array, noise,
+                    ),
+                    known=np.ones(num_candidates, dtype=bool),
+                    bounds=None, verified=num_candidates, pruned=0,
+                )
+                continue
+            screenable.append(
+                (position, qubit_index, base, pairs_array, triples_array, noise)
             )
+        if not screenable:
+            return results
 
-        bounds = screen_candidate_bounds(
-            candidates, qubit_index, base, pairs_array, triples_array,
-            noise, self.delta_ghz, self.thresholds,
+        bounds_batch = screen_candidate_bounds_batch(
+            candidates,
+            [region[1:] for region in screenable],
+            self.delta_ghz, self.thresholds,
         )
-        counts = bounds.lower.copy()
-        known = bounds.exact.copy()
-        exact_decided = int(known.sum())
-        verified = 0
-        if not known.all():
-            # A candidate whose lower bound exceeds the best upper bound
-            # can never reach the minimum count (J >= lower > min-upper
-            # >= the incumbent's J >= the minimum); everything else that
-            # is still undecided gets one batched joint-kernel pass.
-            threshold = bounds.upper.min()
-            if known.any():
-                threshold = min(threshold, counts[known].min())
-            survivors = np.flatnonzero(~known & (bounds.lower <= threshold))
-            if survivors.size:
-                counts[survivors] = verify(survivors)
+        total_candidates = total_exact = total_verified = total_pruned = 0
+        dispute_ns = joint_ns = 0
+        for entry, bounds in zip(screenable, bounds_batch):
+            position, qubit_index, base, pairs_array, triples_array, noise = entry
+            started = time.perf_counter_ns()
+            counts = bounds.lower.copy()
+            known = bounds.exact.copy()
+            exact_decided = int(known.sum())
+            verified = 0
+            survivors = None
+            if not known.all():
+                # A candidate whose lower bound exceeds the best upper
+                # bound can never reach the minimum count (J >= lower >
+                # min-upper >= the incumbent's J >= the minimum);
+                # everything else that is still undecided gets one
+                # batched joint-kernel pass.
+                threshold = bounds.upper.min()
+                if known.any():
+                    threshold = min(threshold, counts[known].min())
+                survivors = np.flatnonzero(~known & (bounds.lower <= threshold))
+            dispute_ns += time.perf_counter_ns() - started
+            if survivors is not None and survivors.size:
+                started = time.perf_counter_ns()
+                counts[survivors] = verify(
+                    survivors, qubit_index, base, pairs_array,
+                    triples_array, noise,
+                )
+                joint_ns += time.perf_counter_ns() - started
                 known[survivors] = True
                 verified = int(survivors.size)
-        pruned = int(num_candidates - known.sum())
-        record_screening(num_candidates, exact_decided, verified, pruned)
-        return ScreenedCounts(
-            counts=counts, known=known, bounds=bounds,
-            verified=verified, pruned=pruned,
+            pruned = int(num_candidates - known.sum())
+            total_candidates += num_candidates
+            total_exact += exact_decided
+            total_verified += verified
+            total_pruned += pruned
+            results[position] = ScreenedCounts(
+                counts=counts, known=known, bounds=bounds,
+                verified=verified, pruned=pruned,
+            )
+        record_screening(
+            total_candidates, total_exact, total_verified, total_pruned,
+            calls=len(screenable), dispute_ns=dispute_ns, joint_ns=joint_ns,
         )
+        return results
 
     def _failure_counts_folded(
         self,

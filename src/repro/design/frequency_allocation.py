@@ -195,6 +195,23 @@ class _AllocationContext:
                     triples.append((j, around[idx_a], around[idx_b]))
         self.triples = triples
 
+        # Conflict sets for the batched-ranking waves: two qubits conflict
+        # when some collision connection contains both — they are adjacent
+        # (a pair, or centre-spectator of a triple) or share a common
+        # neighbour (the two spectators of a triple).  Non-conflicting
+        # qubits never appear in each other's local regions, so a wave of
+        # pairwise non-conflicting qubits can be ranked against one shared
+        # assignment state with bit-identical winners.
+        self.conflicts: Dict[int, Set[int]] = {
+            q: set(adjacency[q]) for q in self.qubits
+        }
+        for j in self.qubits:
+            around = self.neighbors[j]
+            for idx_a in range(len(around)):
+                for idx_b in range(idx_a + 1, len(around)):
+                    self.conflicts[around[idx_a]].add(around[idx_b])
+                    self.conflicts[around[idx_b]].add(around[idx_a])
+
         # Incidence maps: connection indices by member qubit, ascending —
         # filtering a qubit's incidence list preserves the relative order
         # of the global list, exactly like filtering the global list did.
@@ -383,12 +400,74 @@ class _LocalRegionScorer:
                 to rank (used by pruning strategies); the documented
                 mid-band tie-break applies within the subset.
         """
+        winner, request = self._resolve(qubit, frequencies, candidate_indices)
+        if request is None:
+            return winner
+        return self._rank_one(request)
+
+    def best_frequencies_for(
+        self,
+        qubits: List[int],
+        frequencies: Dict[int, float],
+    ) -> Dict[int, float]:
+        """Winning frequencies for a wave of mutually independent qubits.
+
+        The cross-qubit batched ranking path: every qubit of the wave is
+        ranked against the *same* assignment state, and all rankings the
+        memo cannot answer screen through one fused merge-kernel call
+        (:meth:`~repro.collision.yield_simulator.YieldSimulator.screened_failure_counts_batch`).
+        Winners are bit-identical to ranking the wave one qubit at a
+        time; the caller guarantees independence (no two wave members
+        share a collision connection, see
+        :attr:`_AllocationContext.conflicts`), which makes the shared
+        state legitimate.
+        """
+        winners: Dict[int, float] = {}
+        pending: List[_RankingRequest] = []
+        for qubit in qubits:
+            winner, request = self._resolve(qubit, frequencies, None)
+            if request is None:
+                winners[qubit] = winner
+            else:
+                pending.append(request)
+        if not pending:
+            return winners
+        if self.screening:
+            screened_batch = self._context._simulator.screened_failure_counts_batch(
+                self._context.candidates,
+                [
+                    (request.qubit_index, request.base, request.pair_idx,
+                     request.triple_idx, request.noise)
+                    for request in pending
+                ],
+            )
+            for request, screened in zip(pending, screened_batch):
+                winners[request.qubit] = self._finish(
+                    request, screened.counts, screened.known
+                )
+        else:
+            for request in pending:
+                winners[request.qubit] = self._rank_one(request)
+        return winners
+
+    def _resolve(
+        self,
+        qubit: int,
+        frequencies: Dict[int, float],
+        candidate_indices: Optional[np.ndarray],
+    ) -> Tuple[Optional[float], Optional["_RankingRequest"]]:
+        """Answer a ranking from structure/memo, or assemble its region.
+
+        Returns ``(winner, None)`` when no simulation is needed (isolated
+        qubit, or ranking-memo hit) and ``(None, request)`` with the
+        assembled region otherwise.
+        """
         context = self._context
         local_pairs, local_triples = context.local_connections(qubit)
         if not local_pairs and not local_triples:
             # Isolated qubit (no assigned neighbour yet): the middle of the
             # band is as good as any other choice.
-            return middle_frequency()
+            return middle_frequency(), None
 
         memo_key = None
         if self.memoized:
@@ -408,7 +487,7 @@ class _LocalRegionScorer:
             )
             winner = _RANKING_MEMO.get(memo_key)
             if winner is not None:
-                return winner
+                return winner, None
 
         region: Set[int] = {qubit}
         for a, b in local_pairs:
@@ -434,30 +513,74 @@ class _LocalRegionScorer:
             candidates = candidates[candidate_indices]
             mid_distance = mid_distance[candidate_indices]
         noise = context.noise_for(qubit, len(region_order))
+        return None, _RankingRequest(
+            qubit, memo_key, qubit_index, base, pair_idx, triple_idx,
+            noise, candidates, mid_distance,
+        )
 
+    def _rank_one(self, request: "_RankingRequest") -> float:
+        """Rank one assembled region through the single-qubit path."""
+        simulator = self._context._simulator
+        if self.screening:
+            screened = simulator.screened_failure_counts(
+                request.candidates, request.qubit_index, request.base,
+                request.pair_idx, request.triple_idx, noise=request.noise,
+            )
+            return self._finish(request, screened.counts, screened.known)
+        designed_batch = np.repeat(
+            request.base[None, :], len(request.candidates), axis=0
+        )
+        designed_batch[:, request.qubit_index] = request.candidates
+        failures = simulator.failure_counts(
+            designed_batch, request.pair_idx, request.triple_idx,
+            noise=request.noise,
+        )
+        return self._finish(request, failures, None)
+
+    def _finish(
+        self,
+        request: "_RankingRequest",
+        failures: np.ndarray,
+        known: Optional[np.ndarray],
+    ) -> float:
+        """Apply the documented tie-break and memoize the winner."""
         # Failure counts are integers, so the 1e-12 yield tolerance reduces
         # to exact count equality; the tie set is ranked by mid-band
         # distance, lower frequency first among equally distant candidates
         # (tie indices ascend and argmin returns the first minimum).
-        if self.screening:
-            screened = context._simulator.screened_failure_counts(
-                candidates, qubit_index, base, pair_idx, triple_idx, noise=noise,
-            )
-            failures, known = screened.counts, screened.known
+        if known is not None:
             # Every minimum-count candidate is known exactly, so the tie
             # set over known counts equals the unscreened tie set.
             tie_set = np.flatnonzero(known & (failures == failures[known].min()))
         else:
-            designed_batch = np.repeat(base[None, :], len(candidates), axis=0)
-            designed_batch[:, qubit_index] = candidates
-            failures = context._simulator.failure_counts(
-                designed_batch, pair_idx, triple_idx, noise=noise,
-            )
             tie_set = np.flatnonzero(failures == failures.min())
-        winner = float(candidates[tie_set[np.argmin(mid_distance[tie_set])]])
-        if memo_key is not None:
-            _bounded_put(_RANKING_MEMO, _RANKING_MEMO_LIMIT, memo_key, winner)
+        winner = float(
+            request.candidates[tie_set[np.argmin(request.mid_distance[tie_set])]]
+        )
+        if request.memo_key is not None:
+            _bounded_put(_RANKING_MEMO, _RANKING_MEMO_LIMIT, request.memo_key, winner)
         return winner
+
+
+class _RankingRequest:
+    """One assembled local-region ranking awaiting simulation."""
+
+    __slots__ = (
+        "qubit", "memo_key", "qubit_index", "base", "pair_idx",
+        "triple_idx", "noise", "candidates", "mid_distance",
+    )
+
+    def __init__(self, qubit, memo_key, qubit_index, base, pair_idx,
+                 triple_idx, noise, candidates, mid_distance):
+        self.qubit = qubit
+        self.memo_key = memo_key
+        self.qubit_index = qubit_index
+        self.base = base
+        self.pair_idx = pair_idx
+        self.triple_idx = triple_idx
+        self.noise = noise
+        self.candidates = candidates
+        self.mid_distance = mid_distance
 
 
 class AllocationStrategy:
@@ -481,10 +604,27 @@ class AllocationStrategy:
         context: _AllocationContext,
         candidate_indices_for=None,
     ) -> Tuple[Dict[int, float], List[int]]:
-        """The paper's centre-out BFS greedy walk; returns (assignment, order)."""
+        """The paper's centre-out BFS greedy walk; returns (assignment, order).
+
+        With ``batched_rankings`` on (and no per-qubit candidate
+        filtering, which may read intermediate assignments), the walk
+        processes the BFS order in waves (:meth:`_next_wave`): each wave
+        is ranked through one fused batched kernel call and then assigned
+        wholesale.  Winners are bit-identical to the sequential walk —
+        see :meth:`_next_wave` for why.
+        """
         frequencies: Dict[int, float] = {context.center: middle_frequency()}
         context.mark_assigned(context.center)
         order = context.traversal_order()
+        if candidate_indices_for is None and context.allocator.batched_rankings:
+            remaining = [qubit for qubit in order if qubit not in frequencies]
+            while remaining:
+                wave, remaining = self._next_wave(context, remaining)
+                winners = context.scorer.best_frequencies_for(wave, frequencies)
+                for qubit in wave:
+                    frequencies[qubit] = winners[qubit]
+                    context.mark_assigned(qubit)
+            return frequencies, order
         for qubit in order:
             if qubit in frequencies:
                 continue
@@ -495,6 +635,39 @@ class AllocationStrategy:
             )
             context.mark_assigned(qubit)
         return frequencies, order
+
+    @staticmethod
+    def _next_wave(
+        context: _AllocationContext, remaining: List[int]
+    ) -> Tuple[List[int], List[int]]:
+        """Split a ranking queue into ``(wave, deferred)`` for batching.
+
+        Greedy independent-set in queue order: a qubit joins the wave
+        only when it conflicts (shares a collision connection, see
+        :attr:`_AllocationContext.conflicts`) with *neither* an earlier
+        wave member *nor* an earlier deferred qubit.  That invariant
+        makes the batched schedule bit-identical to the sequential one:
+        for any qubit ``q``, every conflicting qubit ahead of ``q`` in
+        the queue lands in a strictly earlier wave (``q`` would have
+        been deferred otherwise), and every conflicting qubit behind
+        ``q`` lands in a strictly later wave — so at ``q``'s ranking the
+        assigned-and-updated state of its local region is exactly the
+        sequential one, and wave members never read each other's
+        results at all.
+        """
+        wave: List[int] = []
+        wave_set: Set[int] = set()
+        deferred: List[int] = []
+        deferred_set: Set[int] = set()
+        for qubit in remaining:
+            conflicts = context.conflicts[qubit]
+            if conflicts.isdisjoint(wave_set) and conflicts.isdisjoint(deferred_set):
+                wave.append(qubit)
+                wave_set.add(qubit)
+            else:
+                deferred.append(qubit)
+                deferred_set.add(qubit)
+        return wave, deferred
 
 
 class BfsGreedyStrategy(AllocationStrategy):
@@ -523,9 +696,25 @@ class CoordinateDescentStrategy(AllocationStrategy):
     def assign(self, context: _AllocationContext) -> Dict[int, float]:
         frequencies, order = self._bfs_assign(context)
         passes = max(1, context.allocator.refinement_passes)
+        batched = context.allocator.batched_rankings
         for _sweep in range(passes):
-            for qubit in order:
-                frequencies[qubit] = context.best_frequency(qubit, frequencies)
+            if batched:
+                # Same wave discipline as the BFS walk: non-conflicting
+                # qubits never read each other's refined frequencies, so
+                # ranking a wave against the pre-wave assignment and
+                # applying its updates together is bit-identical to the
+                # in-place sequential sweep.
+                remaining = list(order)
+                while remaining:
+                    wave, remaining = self._next_wave(context, remaining)
+                    winners = context.scorer.best_frequencies_for(
+                        wave, frequencies
+                    )
+                    for qubit in wave:
+                        frequencies[qubit] = winners[qubit]
+            else:
+                for qubit in order:
+                    frequencies[qubit] = context.best_frequency(qubit, frequencies)
         return frequencies
 
 
@@ -658,6 +847,13 @@ class FrequencyAllocator:
             their keys, so results are bit-identical with the caches on
             or off; disabling them exists for benchmarking the
             uncached cold path.
+        batched_rankings: Whether the BFS walk and refinement sweeps
+            rank waves of mutually independent qubits through one fused
+            batched kernel call instead of one call per qubit
+            (:meth:`AllocationStrategy._next_wave`).  Wave members never
+            share a collision connection, so winners are bit-identical
+            with batching on or off; the flag exists for benchmarking
+            and identity tests.
     """
 
     sigma_ghz: float = DEFAULT_SIGMA_GHZ
@@ -670,6 +866,7 @@ class FrequencyAllocator:
     strategy: Union[str, AllocationStrategy] = BfsGreedyStrategy.name
     screening: bool = True
     shared_caches: bool = True
+    batched_rankings: bool = True
 
     def allocate(self, architecture: Architecture) -> Dict[int, float]:
         """Assign a frequency to every qubit of ``architecture``.

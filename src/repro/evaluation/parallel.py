@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import multiprocessing
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.benchmarks.library import get_benchmark
 from repro.collision.yield_simulator import YieldSimulator
@@ -56,14 +56,23 @@ from repro.hardware.architecture import Architecture
 from repro.mapping.engine import RoutingEngine
 from repro.profiling.profiler import profile_circuit
 from repro.runtime.metrics import Snapshot, diff_snapshots, global_metrics
-from repro.runtime.session import (
-    Session,
-    peek_session,
-    process_sessions,
-    reset_process_sessions,
-    session_for,
-)
 from repro.utils.rng import seed_for
+
+if TYPE_CHECKING:  # pragma: no cover — annotation-only, avoids a cycle
+    from repro.runtime.session import Session
+
+
+def _session_module():
+    """``repro.runtime.session``, imported on first use.
+
+    The session layer imports :mod:`repro.evaluation` for checkpoints and
+    experiment types; deferring the reverse import keeps
+    ``import repro.runtime.session`` working on its own instead of dying
+    in a partially-initialized cycle.
+    """
+    from repro.runtime import session
+
+    return session
 
 
 @dataclass(frozen=True)
@@ -111,7 +120,7 @@ def sweep_point_seed(base_seed: int, benchmark: str, config_value: str, arch_ind
 
 def _worker_session(settings: EvaluationSettings) -> Session:
     """This process's session for ``settings`` (created on first use)."""
-    return session_for(settings=settings)
+    return _session_module().session_for(settings=settings)
 
 
 def _worker_engine(settings: EvaluationSettings) -> RoutingEngine:
@@ -137,7 +146,7 @@ def reset_worker_state() -> None:
     scratch, exactly like a freshly forked worker with no inherited
     sessions.
     """
-    reset_process_sessions()
+    _session_module().reset_process_sessions()
 
 
 def active_routing_engines() -> List[RoutingEngine]:
@@ -149,7 +158,7 @@ def active_routing_engines() -> List[RoutingEngine]:
     """
     return [
         session._routing_engine
-        for session in process_sessions()
+        for session in _session_module().process_sessions()
         if session.has_routing_engine
     ]
 
@@ -167,7 +176,7 @@ def save_worker_routing_cache(settings: EvaluationSettings) -> Optional[int]:
     one cache path cannot drop each other's entries and the file never
     shrinks to one saver's LRU bound.
     """
-    session = peek_session(settings=settings)
+    session = _session_module().peek_session(settings=settings)
     if session is None:
         return None
     return session.persist_routing()
@@ -186,7 +195,7 @@ def worker_cache_stats(settings: EvaluationSettings) -> Dict[str, Dict[str, int]
     pretending to aggregate.  ``--metrics-out`` is the aggregated,
     structured successor.
     """
-    session = peek_session(settings=settings)
+    session = _session_module().peek_session(settings=settings)
     if session is None:
         return {}
     return session.cache_stats()

@@ -61,6 +61,19 @@ class MetricsRegistry:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + amount
 
+    def increment_many(self, amounts: Dict[str, int]) -> None:
+        """Add several counters under one lock acquisition.
+
+        The hot-path form of :meth:`increment`: per-ranking call sites
+        (e.g. the screening instrumentation) record their whole counter
+        group in a single locked update instead of one lock round trip
+        per counter.
+        """
+        with self._lock:
+            counters = self._counters
+            for name, amount in amounts.items():
+                counters[name] = counters.get(name, 0) + int(amount)
+
     def observe(self, name: str, seconds: float) -> None:
         """Record one observation of ``seconds`` wall time under ``name``."""
         seconds = float(seconds)

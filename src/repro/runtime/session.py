@@ -84,6 +84,12 @@ class Session:
         # computed something the store has not seen from this session.
         self._merged_routing_misses = 0
         self._merged_design_misses = 0
+        # Screening-stats watermark: the process-wide screening counters
+        # at construction time, so :meth:`screening_stats` reports only
+        # this session's work — no stale counts leak between sessions.
+        from repro.collision import screening_stats as _screening_stats
+
+        self._screening_baseline = _screening_stats()
         _register(self)
 
     # -- lazily constructed shared state -----------------------------------
@@ -310,6 +316,31 @@ class Session:
         return {"routing": self.persist_routing(), "design": self.persist_design()}
 
     # -- observability ------------------------------------------------------
+
+    def screening_stats(self) -> Dict[str, object]:
+        """This session's screening work: counts and phase-ns deltas.
+
+        The process-wide screening counters are monotone; the delta
+        against the construction-time watermark is exactly what this
+        session (and anything sharing the process since) screened.  If
+        :func:`repro.collision.reset_screening_stats` zeroed the globals
+        after this session was built, the raw counts are below the
+        watermark — the clamp then reports the post-reset counts rather
+        than negative values.
+        """
+        from repro.collision import screening_stats as _screening_stats
+
+        current = _screening_stats()
+        baseline = self._screening_baseline
+        stats: Dict[str, object] = {}
+        for key, value in current.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                before = baseline.get(key, 0)
+                delta = value - before
+                stats[key] = delta if delta >= 0 else value
+            else:
+                stats[key] = value  # e.g. the active backend name
+        return stats
 
     def cache_stats(self) -> Dict[str, Dict[str, int]]:
         """Per-cache stats dicts for every engine this session constructed."""

@@ -2,6 +2,7 @@
 registry, request dedup, and worker→parent metrics merging."""
 
 import pickle
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import pytest
@@ -189,10 +190,31 @@ class TestConcurrentDedup:
         _cold_process()
         session = session_for(settings=FAST_SETTINGS)
         deduped_before = global_metrics().counter("session/deduped_requests")
-        with ThreadPoolExecutor(max_workers=8) as pool:
-            results = list(pool.map(
-                lambda _: session.design(circuit, 1), range(8)
-            ))
+
+        # Hold the owner's engine call open until at least one follower
+        # has parked on the in-flight event (followers bump the dedup
+        # counter *before* waiting).  Without the gate a fast cold design
+        # can finish before the pool even dispatches the other threads,
+        # and every request would be served from the warm cache instead
+        # of exercising the dedup path.
+        engine = session.design_engine
+        real_design = engine.design
+
+        def gated_design(*args, **kwargs):
+            deadline = time.monotonic() + 10.0
+            while (global_metrics().counter("session/deduped_requests")
+                   <= deduped_before and time.monotonic() < deadline):
+                time.sleep(0.001)
+            return real_design(*args, **kwargs)
+
+        engine.design = gated_design
+        try:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                results = list(pool.map(
+                    lambda _: session.design(circuit, 1), range(8)
+                ))
+        finally:
+            engine.design = real_design
         assert allocation_call_count() == single, (
             "concurrent identical requests must resolve to one engine call"
         )

@@ -219,6 +219,61 @@ class TestScreenedCounts:
         assert screening_stats()["calls"] == 0
 
 
+class TestSessionScreeningStats:
+    """Phase counters reset coherently and stay session-scoped."""
+
+    PHASE_KEYS = ("pack_ns", "merge_ns", "dispute_ns", "joint_ns")
+
+    def _run_screen(self):
+        simulator = YieldSimulator(trials=200, sigma_ghz=0.03, seed=3)
+        simulator.screened_failure_counts(
+            candidate_frequencies(), 0, np.array([0.0, 5.13]), [(0, 1)], []
+        )
+
+    def test_phase_counters_reset_with_the_logical_counters(self):
+        reset_screening_stats()
+        self._run_screen()
+        stats = screening_stats()
+        assert stats["pack_ns"] > 0
+        for key in self.PHASE_KEYS:
+            assert stats[key] >= 0
+        previous = reset_screening_stats()
+        assert previous == stats
+        cleared = screening_stats()
+        for key in ("calls",) + self.PHASE_KEYS:
+            assert cleared[key] == 0
+        assert cleared["backend"] == stats["backend"]
+
+    def test_new_session_starts_from_zero_counts(self):
+        from repro.runtime.session import Session
+
+        reset_screening_stats()
+        stale = Session()
+        self._run_screen()
+        assert stale.screening_stats()["calls"] == 1
+        fresh = Session()
+        fresh_stats = fresh.screening_stats()
+        assert fresh_stats["calls"] == 0
+        for key in self.PHASE_KEYS:
+            assert fresh_stats[key] == 0
+        self._run_screen()
+        assert fresh.screening_stats()["calls"] == 1
+        assert stale.screening_stats()["calls"] == 2
+
+    def test_global_reset_after_construction_clamps_to_current(self):
+        from repro.runtime.session import Session
+
+        reset_screening_stats()
+        self._run_screen()
+        self._run_screen()
+        session = Session()  # watermark: calls == 2
+        reset_screening_stats()
+        self._run_screen()
+        # Raw count (1) sits below the watermark (2): the session reports
+        # the post-reset count instead of a negative delta.
+        assert session.screening_stats()["calls"] == 1
+
+
 class TestAllocatorIdentity:
     """Screening and the shared ranking caches never change a plan."""
 
