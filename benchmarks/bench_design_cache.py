@@ -249,7 +249,7 @@ def check_record(record: dict, min_speedup: float = MIN_SPEEDUP) -> None:
 def _write_json(record: dict, path: Optional[Path]) -> Path:
     path = path or (RESULTS_DIR / "BENCH_design_cache.json")
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    path.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8")
     return path
 
 

@@ -1,0 +1,34 @@
+"""Invariant linter: static analysis for the repo's load-bearing contracts.
+
+Four checker families, each encoding an invariant every PR has so far
+defended by hand:
+
+* **determinism** (``REPRO-D1xx``) — no unseeded RNG, wall-clock reads,
+  or unordered iteration on any path that can reach results or digests;
+* **lock/store discipline** (``REPRO-S2xx``) — every cache write flows
+  through the locked, atomic :mod:`repro.persistence` store APIs;
+* **digest completeness** (``REPRO-C3xx``) — every result-affecting
+  knob of :class:`~repro.runtime.config.RuntimeConfig` /
+  :class:`~repro.mapping.sabre.SabreParameters` /
+  :class:`~repro.design.engine.DesignOptions` reaches the content
+  digests and cache keys, proven by construction (digest probing);
+* **fork/merge safety** (``REPRO-P4xx``) — worker payloads stay
+  picklable-by-construction and metrics stay inside the associative
+  counter/timer merge algebra.
+
+Run it with ``python -m repro.analysis`` (or ``repro-design lint``);
+see ``lint-baseline.json`` for the accepted-findings workflow and
+``# repro-lint: disable=RULE`` for inline suppressions.
+"""
+
+from repro.analysis.findings import BaselineEntry, Finding, LintReport
+from repro.analysis.runner import lint_source, lint_tree, main
+
+__all__ = [
+    "BaselineEntry",
+    "Finding",
+    "LintReport",
+    "lint_source",
+    "lint_tree",
+    "main",
+]

@@ -1,0 +1,202 @@
+"""Determinism rules (REPRO-D1xx).
+
+The repo's core contract is byte-identical output for any ``--jobs``
+count, backend, or thread count.  Every violation class these rules
+catch has the same failure shape: a value that depends on process
+state (global RNG, wall clock, filesystem enumeration order, hash
+order) leaks into results, cache keys, or serialized artifacts, and
+the divergence only shows up under a different scheduler or a
+different machine.
+
+* **REPRO-D101** — unseeded or global RNG (``np.random.*`` legacy
+  functions, ``random.*`` module functions, seedless
+  ``default_rng()`` / ``Random()``).
+* **REPRO-D102** — wall-clock reads (``time.time``,
+  ``datetime.now``, …).  ``time.perf_counter`` and friends stay legal:
+  they feed the metrics timers, which observe but never influence
+  results.
+* **REPRO-D103** — filesystem enumeration (``os.listdir``,
+  ``Path.iterdir`` / ``.glob``, ``glob.glob``) not directly wrapped in
+  ``sorted(...)``.
+* **REPRO-D104** — iterating a set literal/constructor (hash order).
+* **REPRO-D105** — ``json.dump(s)`` without ``sort_keys=True`` outside
+  the canonical serialization layer (``repro.persistence``), which owns
+  the entry-payload byte format.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, call_keyword, rule, truthy_constant
+
+#: numpy.random attributes that are classes/constructors rather than
+#: calls on the hidden global RandomState.
+_NP_CONSTRUCTORS = {
+    "default_rng", "SeedSequence", "RandomState",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+}
+#: numpy.random attributes that only wrap an existing seeded generator.
+_NP_WRAPPERS = {"Generator", "BitGenerator"}
+
+_WALL_CLOCK = {
+    "time.time", "time.time_ns", "time.ctime", "time.localtime", "time.gmtime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+_FS_FUNCTIONS = {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+_FS_METHODS = {"iterdir", "glob", "rglob"}
+
+
+def _is_seedless(call: ast.Call) -> bool:
+    return not call.args and not call.keywords
+
+
+@rule("REPRO-D101", "unseeded or global RNG in a result-affecting module")
+def check_unseeded_rng(module: ModuleContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = module.resolve(node.func)
+        if target is None:
+            continue
+        if target.startswith("numpy.random."):
+            attr = target[len("numpy.random."):]
+            if attr in _NP_WRAPPERS or "." in attr:
+                continue
+            if attr in _NP_CONSTRUCTORS:
+                if _is_seedless(node):
+                    findings.append(module.finding(
+                        "REPRO-D101", node,
+                        f"numpy.random.{attr}() without an explicit seed: results "
+                        "depend on OS entropy; derive a seed (see repro.utils.rng)",
+                    ))
+            else:
+                findings.append(module.finding(
+                    "REPRO-D101", node,
+                    f"numpy.random.{attr} uses the hidden global RandomState; "
+                    "use a seeded np.random.Generator instead",
+                ))
+        elif target == "random.Random":
+            if _is_seedless(node):
+                findings.append(module.finding(
+                    "REPRO-D101", node,
+                    "random.Random() without a seed: results depend on OS entropy",
+                ))
+        elif target == "random.SystemRandom":
+            findings.append(module.finding(
+                "REPRO-D101", node,
+                "random.SystemRandom is nondeterministic by design; use a "
+                "seeded generator",
+            ))
+        elif target.startswith("random.") and target.count(".") == 1:
+            findings.append(module.finding(
+                "REPRO-D101", node,
+                f"{target} uses the process-global RNG; use a seeded "
+                "random.Random or np.random.Generator instance",
+            ))
+    return findings
+
+
+@rule("REPRO-D102", "wall-clock read in a result-affecting module")
+def check_wall_clock(module: ModuleContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = module.resolve(node.func)
+        if target in _WALL_CLOCK:
+            findings.append(module.finding(
+                "REPRO-D102", node,
+                f"{target}() reads the wall clock; results and cache keys must "
+                "not depend on when the code ran (time.perf_counter is fine "
+                "for metrics timers)",
+            ))
+    return findings
+
+
+@rule("REPRO-D103", "unsorted filesystem enumeration")
+def check_unsorted_fs(module: ModuleContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = module.resolve(node.func)
+        flagged = None
+        if target in _FS_FUNCTIONS:
+            flagged = f"{target}()"
+        elif (
+            target is None
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _FS_METHODS
+        ):
+            flagged = f".{node.func.attr}()"
+        if flagged is None or module.is_sorted_wrapped(node):
+            continue
+        findings.append(module.finding(
+            "REPRO-D103", node,
+            f"{flagged} enumerates the filesystem in OS order; wrap it in "
+            "sorted(...) so downstream output cannot depend on directory "
+            "layout",
+        ))
+    return findings
+
+
+@rule("REPRO-D104", "iteration over a set (hash order)")
+def check_set_iteration(module: ModuleContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+
+    def is_set_expr(expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in {"set", "frozenset"}
+            and expr.func.id not in module.aliases
+        )
+
+    for node in ast.walk(module.tree):
+        iters: List[ast.expr] = []
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            iters.append(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            iters.extend(gen.iter for gen in node.generators)
+        for expr in iters:
+            if is_set_expr(expr):
+                findings.append(module.finding(
+                    "REPRO-D104", expr,
+                    "iterating a set visits elements in hash order; sort it "
+                    "(or iterate the original sequence) before the order can "
+                    "reach output or digests",
+                ))
+    return findings
+
+
+@rule(
+    "REPRO-D105",
+    "json.dump(s) without sort_keys=True outside the canonical "
+    "serialization layer",
+    exempt_prefixes=("src/repro/persistence/",),
+)
+def check_canonical_json(module: ModuleContext) -> Iterable[Finding]:
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = module.resolve(node.func)
+        if target not in {"json.dump", "json.dumps"}:
+            continue
+        if truthy_constant(call_keyword(node, "sort_keys")):
+            continue
+        findings.append(module.finding(
+            "REPRO-D105", node,
+            f"{target} without sort_keys=True serializes dict insertion "
+            "order; canonical JSON keeps artifacts byte-stable (the "
+            "repro.persistence entry codecs are the one exempt layer)",
+        ))
+    return findings

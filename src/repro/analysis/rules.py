@@ -1,0 +1,184 @@
+"""Shared AST machinery for the file-level lint rules.
+
+Every file-level rule is a function ``(module: ModuleContext) ->
+Iterable[Finding]`` registered through :func:`rule`.  The
+:class:`ModuleContext` precomputes what most rules need:
+
+* an **import alias map** so dotted call targets resolve to canonical
+  paths (``np.random.default_rng`` → ``numpy.random.default_rng`` even
+  under ``import numpy as np`` or ``from numpy import random``);
+* a **parent map** so rules can ask structural questions ("is this
+  ``os.listdir`` call the direct argument of ``sorted()``?");
+* the raw source lines for suppression comments and finding contexts.
+
+Rules are purely syntactic: they never import the module under
+analysis, so the linter can run on broken or dependency-missing files
+and on synthetic fixture snippets in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, context_of
+
+RuleFunc = Callable[["ModuleContext"], Iterable[Finding]]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One registered lint rule: code, summary, path exemptions, body."""
+
+    code: str
+    summary: str
+    func: RuleFunc
+    #: Repo-relative posix path prefixes the rule does not apply to
+    #: (e.g. the persistence package *is* the canonical write layer, so
+    #: the raw-write rules exempt it).
+    exempt_prefixes: Tuple[str, ...] = ()
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def rule(code: str, summary: str, exempt_prefixes: Tuple[str, ...] = ()):
+    """Register a file-level rule under ``code``."""
+
+    def decorate(func: RuleFunc) -> RuleFunc:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate rule code {code}")
+        _REGISTRY[code] = Rule(code, summary, func, exempt_prefixes)
+        return func
+
+    return decorate
+
+
+def registered_rules() -> List[Rule]:
+    return [(_REGISTRY[code]) for code in sorted(_REGISTRY)]
+
+
+@dataclass
+class ModuleContext:
+    """One parsed module plus the lookup structures rules share."""
+
+    path: str                       # repo-relative posix path
+    tree: ast.Module
+    source_lines: Sequence[str]
+    aliases: Dict[str, str] = field(default_factory=dict)
+    parents: Dict[int, ast.AST] = field(default_factory=dict)
+    imported_modules: frozenset = frozenset()
+
+    @classmethod
+    def parse(cls, source: str, path: str) -> "ModuleContext":
+        tree = ast.parse(source)
+        context = cls(path=path, tree=tree, source_lines=source.splitlines())
+        context.aliases = _import_aliases(tree)
+        context.parents = _parent_map(tree)
+        context.imported_modules = frozenset(
+            root.split(".")[0] for root in context.aliases.values()
+        )
+        return context
+
+    # -- helpers rules call -------------------------------------------------
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """The canonical dotted path of a Name/Attribute chain, or None.
+
+        ``np.random.default_rng`` resolves to
+        ``numpy.random.default_rng`` if ``np`` aliases ``numpy``; a
+        chain whose base name was never imported resolves to None, so a
+        local variable that happens to be called ``random`` cannot
+        trigger the RNG rules.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        origin = self.aliases.get(current.id)
+        if origin is None:
+            return None
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(id(node))
+
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        line = getattr(node, "lineno", 1)
+        return Finding(
+            rule=code, path=self.path, line=line, message=message,
+            context=context_of(self.source_lines, line),
+        )
+
+    def is_sorted_wrapped(self, node: ast.AST) -> bool:
+        """True when ``node`` is a direct argument of ``sorted(...)``."""
+        parent = self.parent(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id == "sorted"
+            and node in parent.args
+        )
+
+    def name_tokens(self, node: ast.AST) -> List[str]:
+        """Lower-cased identifier/string tokens inside an expression.
+
+        Used by the store-discipline rules to decide whether a path
+        expression "looks cache-shaped" (mentions cache/store/
+        checkpoint/shard anywhere in its names or literals).
+        """
+        tokens: List[str] = []
+        for child in ast.walk(node):
+            if isinstance(child, ast.Name):
+                tokens.append(child.id.lower())
+            elif isinstance(child, ast.Attribute):
+                tokens.append(child.attr.lower())
+            elif isinstance(child, ast.Constant) and isinstance(child.value, str):
+                tokens.append(child.value.lower())
+            elif isinstance(child, ast.arg):
+                tokens.append(child.arg.lower())
+        return tokens
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name → canonical dotted origin, for every import in the module."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                local = name.asname or name.name.split(".")[0]
+                origin = name.name if name.asname else name.name.split(".")[0]
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue  # relative imports stay project-local
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                local = name.asname or name.name
+                aliases[local] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def _parent_map(tree: ast.Module) -> Dict[int, ast.AST]:
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def call_keyword(call: ast.Call, name: str) -> Optional[ast.expr]:
+    for keyword in call.keywords:
+        if keyword.arg == name:
+            return keyword.value
+    return None
+
+
+def truthy_constant(node: Optional[ast.expr]) -> bool:
+    return isinstance(node, ast.Constant) and bool(node.value)

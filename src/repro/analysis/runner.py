@@ -1,0 +1,215 @@
+"""The lint driver: file discovery, rule dispatch, baseline, CLI.
+
+``python -m repro.analysis`` (or ``repro-design lint``) walks the
+default targets — ``src/``, ``benchmarks/``, ``examples/`` — in sorted
+order, runs every registered AST rule on each file, runs the
+project-level digest-completeness checks once, then filters through
+inline suppressions and the committed baseline.  Exit status is ``1``
+iff any non-baselined, non-suppressed finding remains, so CI can gate
+on it directly; ``--report`` writes the full disposition as
+deterministic JSON for the artifact trail.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+# Importing the rule modules registers their rules.
+import repro.analysis.determinism  # noqa: F401  (registration import)
+import repro.analysis.fork_safety  # noqa: F401  (registration import)
+import repro.analysis.store_discipline  # noqa: F401  (registration import)
+from repro.analysis import digest_check
+from repro.analysis.findings import (
+    Finding,
+    LintReport,
+    apply_baseline,
+    baseline_entry_for,
+    default_baseline_path,
+    is_suppressed,
+    load_baseline,
+    sort_findings,
+    write_baseline,
+)
+from repro.analysis.rules import ModuleContext, registered_rules
+
+DEFAULT_TARGETS = ("src", "benchmarks", "examples")
+
+#: Pseudo-rule for files the linter cannot parse at all.
+PARSE_ERROR_RULE = "REPRO-E001"
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _collect_files(root: Path, targets: Sequence[str]) -> List[Path]:
+    files: List[Path] = []
+    for target in targets:
+        base = Path(target)
+        if not base.is_absolute():
+            base = root / target
+        if base.is_dir():
+            files.extend(sorted(base.rglob("*.py")))
+        elif base.suffix == ".py" and base.exists():
+            files.append(base)
+    seen = set()
+    unique = []
+    for path in files:
+        key = str(path.resolve())
+        if key not in seen:
+            seen.add(key)
+            unique.append(path)
+    return unique
+
+
+def lint_source(source: str, path: str) -> List[Finding]:
+    """Run every registered AST rule over one source text.
+
+    Inline suppressions are honored; path-prefix rule exemptions are
+    honored against ``path``.  This is the entry point the fixture and
+    mutation tests drive.
+    """
+    try:
+        module = ModuleContext.parse(source, path)
+    except SyntaxError as error:
+        return [Finding(
+            rule=PARSE_ERROR_RULE, path=path, line=error.lineno or 1,
+            message=f"syntax error: {error.msg}", context="",
+        )]
+    findings: List[Finding] = []
+    for rule in registered_rules():
+        if any(path.startswith(prefix) for prefix in rule.exempt_prefixes):
+            continue
+        for finding in rule.func(module):
+            if not is_suppressed(finding, module.source_lines):
+                findings.append(finding)
+    return sort_findings(findings)
+
+
+def lint_tree(
+    root: Path,
+    targets: Optional[Sequence[str]] = None,
+    *,
+    dynamic: bool = True,
+    baseline_path: Optional[Path] = None,
+) -> LintReport:
+    """Lint a source tree and return the full disposition report."""
+    root = root.resolve()
+    if targets is None:
+        targets = [t for t in DEFAULT_TARGETS if (root / t).is_dir()]
+    report = LintReport()
+    raw: List[Finding] = []
+    for path in _collect_files(root, targets):
+        relpath = _relpath(path, root)
+        source = path.read_text(encoding="utf-8")
+        raw.extend(lint_source(source, relpath))
+        report.checked_files += 1
+    if dynamic:
+        raw.extend(digest_check.project_findings(root))
+    baseline = load_baseline(baseline_path or default_baseline_path(root))
+    new, baselined, stale = apply_baseline(sort_findings(raw), baseline)
+    report.new = new
+    report.baselined = baselined
+    report.stale_baseline = stale
+    return report
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description=(
+            "Invariant linter: determinism, lock/store discipline, digest "
+            "completeness, and fork/merge safety for the repro code base."
+        ),
+    )
+    parser.add_argument(
+        "targets", nargs="*", default=None,
+        help="files or directories to lint (default: src benchmarks examples)",
+    )
+    parser.add_argument(
+        "--root", default=".",
+        help="repository root (rule exemptions and the baseline resolve "
+             "against it; default: current directory)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file of accepted findings (default: "
+             "<root>/lint-baseline.json)",
+    )
+    parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="also write the full disposition as deterministic JSON "
+             "(the CI artifact)",
+    )
+    parser.add_argument(
+        "--no-dynamic", action="store_true",
+        help="skip the dynamic digest-completeness checks (REPRO-C3xx)",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline to accept every current finding with a "
+             "TODO justification (then edit the justifications!)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule codes and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in registered_rules():
+            print(f"{rule.code}  {rule.summary}")
+        print(f"{PARSE_ERROR_RULE}  file does not parse")
+        return 0
+
+    root = Path(args.root)
+    baseline_path = Path(args.baseline) if args.baseline else None
+    try:
+        report = lint_tree(
+            root,
+            args.targets or None,
+            dynamic=not args.no_dynamic,
+            baseline_path=baseline_path,
+        )
+    except (OSError, ValueError) as error:
+        print(f"repro lint: error: {error}", file=sys.stderr)
+        return 2
+
+    if args.update_baseline:
+        entries = [
+            baseline_entry_for(f, "TODO(repro-lint): justify this acceptance or fix it")
+            for f in report.new
+        ]
+        # Keep still-matching entries (with their real justifications).
+        kept = load_baseline(baseline_path or default_baseline_path(root))
+        kept = [e for e in kept if e not in report.stale_baseline]
+        path = baseline_path or default_baseline_path(root)
+        write_baseline(path, kept + entries)
+        print(f"repro lint: baseline updated with {len(entries)} new entries at {path}")
+        return 0
+
+    for finding in report.new:
+        print(finding.render())
+    for entry in report.stale_baseline:
+        print(
+            f"repro lint: warning: stale baseline entry {entry.rule} at "
+            f"{entry.path} ({entry.context!r}) no longer matches anything",
+            file=sys.stderr,
+        )
+    if args.report:
+        Path(args.report).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.report).write_text(
+            json.dumps(report.payload(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+    print(
+        f"repro lint: {len(report.new)} new finding(s), "
+        f"{len(report.baselined)} baselined, {report.checked_files} files checked"
+    )
+    return 0 if report.ok else 1

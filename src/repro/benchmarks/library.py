@@ -10,7 +10,7 @@ the originals.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.benchmarks.ising import ising_model_circuit

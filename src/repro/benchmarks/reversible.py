@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.decompose import decompose_mcx
-from repro.circuit.gates import Gate, cx, h, measure, x
+from repro.circuit.gates import cx, h, measure, x
 from repro.utils.rng import deterministic_rng
 
 

@@ -12,7 +12,7 @@ shown on the left of the paper's Figure 5.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import List, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.gates import Gate, cx, h, measure, rx, rz

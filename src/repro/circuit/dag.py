@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.circuit.gates import Gate, GateKind, TWO_QUBIT_GATES

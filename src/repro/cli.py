@@ -148,6 +148,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="backend for an unprefixed DEST path (default: auto — sniff "
              "existing state, else single-file JSON)",
     )
+
+    lint_parser = subparsers.add_parser(
+        "lint",
+        help="run the invariant linter (determinism, store discipline, "
+             "digest completeness, fork safety)",
+    )
+    lint_parser.add_argument(
+        "targets", nargs="*", default=None,
+        help="files or directories to lint (default: src benchmarks examples)",
+    )
+    lint_parser.add_argument(
+        "--root", default=".",
+        help="repository root (baseline and rule exemptions resolve against it)",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="accepted-findings file (default: <root>/lint-baseline.json)",
+    )
+    lint_parser.add_argument(
+        "--report", default=None, metavar="PATH",
+        help="write the full disposition as deterministic JSON",
+    )
+    lint_parser.add_argument(
+        "--no-dynamic", action="store_true",
+        help="skip the dynamic digest-completeness checks (REPRO-C3xx)",
+    )
+    lint_parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="accept every current finding into the baseline with a TODO "
+             "justification",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true", help="list rule codes and exit",
+    )
     return parser
 
 
@@ -347,7 +381,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                           output=args.output, metrics_out=args.metrics_out)
     if args.command == "cache":
         return _cmd_cache_migrate(args.source, args.dest, args.cache_backend)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return 2
+
+
+def _cmd_lint(args) -> int:
+    """Forward ``repro lint`` to the :mod:`repro.analysis` runner."""
+    from repro.analysis.runner import main as lint_main
+
+    argv = list(args.targets or [])
+    argv += ["--root", args.root]
+    if args.baseline:
+        argv += ["--baseline", args.baseline]
+    if args.report:
+        argv += ["--report", args.report]
+    if args.no_dynamic:
+        argv.append("--no-dynamic")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    if args.list_rules:
+        argv.append("--list-rules")
+    return lint_main(argv)
 
 
 def _cmd_list() -> int:

@@ -21,7 +21,7 @@ count so "at least X times better" statements remain well defined.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.evaluation.configs import ExperimentConfig
 from repro.evaluation.experiment import DataPoint, ExperimentResult

@@ -23,7 +23,7 @@ configuration             meaning
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.circuit.circuit import QuantumCircuit
 from repro.design.engine import DesignEngine

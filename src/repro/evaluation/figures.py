@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.benchmarks.library import get_benchmark
 from repro.evaluation.configs import ExperimentConfig
-from repro.evaluation.experiment import DataPoint, ExperimentResult
+from repro.evaluation.experiment import ExperimentResult
 from repro.profiling.profiler import profile_circuit
 
 #: The two programs whose coupling patterns the paper contrasts in Figure 5.

@@ -9,7 +9,7 @@ placed (paper Section 4.2).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 Coordinate = Tuple[int, int]
 

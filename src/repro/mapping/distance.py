@@ -10,7 +10,7 @@ distance matrix is both simple and fast.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 import numpy as np
 

@@ -28,7 +28,6 @@ import json
 import os
 import sqlite3
 import time
-from typing import Dict, List, Optional, Tuple
 
 from repro.persistence.store import CacheStore, WrongFormatError, canonical_key
 

@@ -2,12 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
 
 import numpy as np
 
 from repro.hardware.architecture import Architecture
-from repro.hardware.bus import BusType
 from repro.hardware.lattice import Lattice
 
 

@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Sequence
 
-from repro.evaluation.experiment import DataPoint, ExperimentResult
+from repro.evaluation.experiment import ExperimentResult
 
 #: One-character markers per configuration, mirroring the Figure 10 legend.
 _MARKERS = {

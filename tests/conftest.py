@@ -14,7 +14,6 @@ from repro.circuit import QuantumCircuit, cx, h, measure
 from repro.collision import YieldSimulator
 from repro.design import DesignFlow
 from repro.hardware import Architecture, Lattice, ibm_16q_2x8
-from repro.profiling import profile_circuit
 
 
 @pytest.fixture

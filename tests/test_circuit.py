@@ -3,7 +3,6 @@
 import pytest
 
 from repro.circuit import QuantumCircuit, barrier, cx, h, measure, rz, swap
-from repro.circuit.gates import Gate
 
 
 class TestConstruction:

@@ -1,6 +1,5 @@
 """Tests for the end-to-end design flow (paper Figure 1)."""
 
-import pytest
 
 from repro.design import DesignFlow, DesignOptions, design_architecture, design_architecture_series
 from repro.design.flow import BusStrategy, FrequencyStrategy
@@ -95,7 +94,6 @@ class TestStrategies:
         """
         from repro.benchmarks import ising_model_circuit
         from repro.design.bus_selection import cross_coupling_weights
-        from repro.profiling import profile_circuit
 
         circuit = ising_model_circuit(8, trotter_steps=2)
         flow = DesignFlow(circuit, FAST)

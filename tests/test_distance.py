@@ -1,6 +1,5 @@
 """Tests for the coupling-graph distance matrix."""
 
-import numpy as np
 
 from repro.hardware import Architecture, Lattice, ibm_16q_2x8
 from repro.mapping import DistanceMatrix

@@ -18,7 +18,6 @@ from repro.evaluation import (
     evaluate_benchmark,
     pareto_front,
 )
-from repro.evaluation.pareto import is_dominated
 from repro.hardware import ibm_16q_2x8, ibm_20q_4x5
 from repro.mapping import route_circuit
 from repro.profiling import profile_circuit

@@ -1,6 +1,5 @@
 """Tests for the layout design subroutine (Algorithm 1)."""
 
-import pytest
 
 from repro.circuit import QuantumCircuit, cx
 from repro.design import design_layout

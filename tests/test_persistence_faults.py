@@ -26,7 +26,7 @@ import pytest
 
 import repro
 from repro import persistence
-from repro.persistence.sharded import ShardedStore, shard_for_key
+from repro.persistence.sharded import shard_for_key
 
 FMT = "repro-test-cache"
 

@@ -1,7 +1,6 @@
 """Tests for the program profiler (paper Section 3, Figure 4)."""
 
 import numpy as np
-import pytest
 
 from repro.circuit import QuantumCircuit, cx, h, measure
 from repro.profiling import (

@@ -6,7 +6,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.circuit import QuantumCircuit
-from repro.circuit.gates import Gate, cx, h
+from repro.circuit.gates import cx, h
 from repro.collision.conditions import check_pair_collisions, check_triple_collisions
 from repro.design import design_layout, select_four_qubit_buses
 from repro.hardware import Architecture, Lattice

@@ -5,7 +5,6 @@ import pytest
 
 from repro.collision import YieldSimulator, estimate_yield
 from repro.hardware import Architecture, Lattice, ibm_16q_2x8, ibm_20q_4x5
-from repro.hardware.frequency import five_frequency_scheme
 
 
 def chain_architecture(num_qubits, frequencies=None):
