@@ -1,0 +1,156 @@
+"""Worker/supervision exception-discipline rules (REPRO-R5xx).
+
+The supervised sweep path (PR 10) keeps a hard line between the two
+kinds of exception handling it performs:
+
+* **Fault boundaries** — the one place per layer where *any* failure is
+  converted into a structured report for the supervisor to retry or
+  quarantine.  These are explicitly marked with
+  :func:`repro.faults.fault_boundary` so readers (and this linter) can
+  see the swallow is intentional and the error is re-reported, not
+  dropped.
+* **Everything else** — handlers must name the exact exceptions they
+  expect (``BrokenPipeError``, ``EOFError``, ``OSError``, ...).  A
+  blanket ``except Exception`` anywhere else in the worker/supervision
+  stack silently eats the very crashes the supervisor exists to detect,
+  turning a retryable fault into a wrong answer.
+
+* **REPRO-R501** — bare ``except:`` in a worker/supervision module.
+  Bare handlers catch ``SystemExit`` / ``KeyboardInterrupt`` too, so an
+  injected ``os._exit``-style fault or an operator Ctrl-C can be
+  swallowed mid-task.
+* **REPRO-R502** — ``except Exception`` / ``except BaseException`` in a
+  worker/supervision module that neither re-raises nor sits inside a
+  function decorated with ``fault_boundary``.
+
+Both rules apply only to the modules that run under the supervisor
+(:data:`_WORKER_PREFIXES`); handler style elsewhere in the repo is out
+of scope for this family.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from repro.analysis.findings import Finding
+from repro.analysis.rules import ModuleContext, rule
+
+#: Repo-relative prefixes of the modules whose code runs inside (or
+#: supervises) sweep worker processes.  Fixture tests pass synthetic
+#: paths under these prefixes to exercise the rules.
+_WORKER_PREFIXES = (
+    "src/repro/evaluation/parallel.py",
+    "src/repro/evaluation/supervisor.py",
+    "src/repro/faults/",
+)
+
+_BLANKET_NAMES = {"Exception", "BaseException"}
+
+
+def _in_worker_module(module: ModuleContext) -> bool:
+    return any(module.path.startswith(prefix) for prefix in _WORKER_PREFIXES)
+
+
+def _is_blanket_type(module: ModuleContext, node: Optional[ast.expr]) -> bool:
+    """True when the handler type names Exception/BaseException.
+
+    Covers the bare name, a dotted ``builtins.Exception``, and tuples
+    that include either (``except (ValueError, Exception):`` is just as
+    blanket as ``except Exception:``).
+    """
+    if node is None:
+        return False
+    if isinstance(node, ast.Tuple):
+        return any(_is_blanket_type(module, element) for element in node.elts)
+    if isinstance(node, ast.Name):
+        return node.id in _BLANKET_NAMES
+    if isinstance(node, ast.Attribute):
+        resolved = module.resolve(node)
+        return resolved is not None and resolved.split(".")[-1] in _BLANKET_NAMES
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body contains a ``raise`` at its own level.
+
+    Raises inside nested function definitions do not count: they run at
+    some later call, not while the caught exception is in flight.
+    """
+    stack: List[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+    return False
+
+
+def _decorator_name(node: ast.expr) -> Optional[str]:
+    """Trailing identifier of a decorator expression (unwrapping calls)."""
+    if isinstance(node, ast.Call):
+        node = node.func
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _inside_fault_boundary(module: ModuleContext, node: ast.AST) -> bool:
+    """True when ``node`` sits inside a ``@fault_boundary`` function."""
+    current: Optional[ast.AST] = node
+    while current is not None:
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in current.decorator_list:
+                if _decorator_name(decorator) == "fault_boundary":
+                    return True
+        current = module.parent(current)
+    return False
+
+
+@rule(
+    "REPRO-R501",
+    "bare except in a worker/supervision module",
+)
+def check_bare_except(module: ModuleContext) -> Iterable[Finding]:
+    if not _in_worker_module(module):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            findings.append(module.finding(
+                "REPRO-R501", node,
+                "bare except in worker/supervision code also swallows "
+                "SystemExit/KeyboardInterrupt; name the exceptions you "
+                "expect, or use a @fault_boundary handler that reports them",
+            ))
+    return findings
+
+
+@rule(
+    "REPRO-R502",
+    "blanket except Exception outside a sanctioned fault boundary",
+)
+def check_blanket_except(module: ModuleContext) -> Iterable[Finding]:
+    if not _in_worker_module(module):
+        return []
+    findings: List[Finding] = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _is_blanket_type(module, node.type):
+            continue
+        if _reraises(node) or _inside_fault_boundary(module, node):
+            continue
+        findings.append(module.finding(
+            "REPRO-R502",
+            node,
+            "except Exception in worker/supervision code swallows the "
+            "crashes the supervisor exists to detect; catch specific "
+            "exceptions, re-raise, or mark the function with "
+            "@repro.faults.fault_boundary and report the failure",
+        ))
+    return findings

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence
 # Importing the rule modules registers their rules.
 import repro.analysis.determinism  # noqa: F401  (registration import)
 import repro.analysis.fork_safety  # noqa: F401  (registration import)
+import repro.analysis.robustness  # noqa: F401  (registration import)
 import repro.analysis.store_discipline  # noqa: F401  (registration import)
 from repro.analysis import digest_check
 from repro.analysis.findings import (

@@ -26,6 +26,8 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -123,6 +125,50 @@ def build_parser() -> argparse.ArgumentParser:
         "--output", default=None, metavar="PATH",
         help="also write the sweep results as a deterministic JSON report "
              "(byte-identical for any --jobs count, resumed or not)",
+    )
+    supervision = sweep_parser.add_argument_group(
+        "supervision",
+        "fault-tolerant execution: supervised workers with heartbeats, "
+        "deadlines, bounded retry, and poison-task quarantine.  Any of "
+        "these flags enables supervision; none of them can change sweep "
+        "values (retries re-derive the same content-addressed seeds)",
+    )
+    supervision.add_argument(
+        "--supervised", action="store_true",
+        help="run tasks in supervised worker processes: dead workers are "
+             "replaced, failed tasks retried with deterministic backoff, "
+             "and tasks that keep killing their worker are quarantined "
+             "instead of killing the sweep",
+    )
+    supervision.add_argument(
+        "--task-deadline", type=float, default=None, metavar="SECONDS",
+        help="kill and retry any task attempt running longer than this",
+    )
+    supervision.add_argument(
+        "--heartbeat-timeout", type=float, default=None, metavar="SECONDS",
+        help="kill and retry a task whose worker has not heartbeat for "
+             "this long (catches hangs that hold the GIL)",
+    )
+    supervision.add_argument(
+        "--max-task-retries", type=int, default=2, metavar="N",
+        help="retries after a task's first failed attempt before it is "
+             "quarantined (default: 2)",
+    )
+    supervision.add_argument(
+        "--retry-backoff", type=float, default=0.05, metavar="SECONDS",
+        help="base of the deterministic exponential retry backoff "
+             "(default: 0.05)",
+    )
+    supervision.add_argument(
+        "--fault-plan", default=None, metavar="PATH",
+        help="arm a deterministic fault-injection schedule (JSON; see "
+             "repro.faults) in this process and every worker — testing "
+             "only; implies --supervised",
+    )
+    supervision.add_argument(
+        "--failures-out", default=None, metavar="PATH",
+        help="write the quarantined-task report as JSON (written even "
+             "when empty, so automation can rely on the file)",
     )
     _add_router_arguments(sweep_parser)
     _add_design_arguments(sweep_parser)
@@ -378,7 +424,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         return _cmd_sweep(args.benchmarks, args.jobs, args.configs, args.plot,
                           _runtime_config(args), cache_stats=args.cache_stats,
-                          output=args.output, metrics_out=args.metrics_out)
+                          output=args.output, metrics_out=args.metrics_out,
+                          supervised=args.supervised,
+                          task_deadline=args.task_deadline,
+                          heartbeat_timeout=args.heartbeat_timeout,
+                          max_task_retries=args.max_task_retries,
+                          retry_backoff=args.retry_backoff,
+                          fault_plan=args.fault_plan,
+                          failures_out=args.failures_out)
     if args.command == "cache":
         return _cmd_cache_migrate(args.source, args.dest, args.cache_backend)
     if args.command == "lint":
@@ -477,8 +530,6 @@ def _sweep_report(names: List[str], results: dict) -> str:
     the text is byte-identical for any ``--jobs`` count and for resumed
     vs. uninterrupted runs — the resume tests diff it directly.
     """
-    import json
-
     report = {
         name: [
             {
@@ -531,10 +582,24 @@ def _cmd_sweep(
     cache_stats: bool = False,
     output: Optional[str] = None,
     metrics_out: Optional[str] = None,
+    supervised: bool = False,
+    task_deadline: Optional[float] = None,
+    heartbeat_timeout: Optional[float] = None,
+    max_task_retries: int = 2,
+    retry_backoff: float = 0.05,
+    fault_plan: Optional[str] = None,
+    failures_out: Optional[str] = None,
 ) -> int:
+    from repro import faults
     from repro.evaluation.parallel import save_worker_routing_cache, worker_cache_stats
     from repro.runtime.metrics import global_metrics
 
+    # Any supervision knob (or a fault plan, which only the supervised
+    # executor survives) opts the sweep into supervised execution.
+    supervised = bool(
+        supervised or fault_plan or task_deadline is not None
+        or heartbeat_timeout is not None or failures_out
+    )
     baseline = global_metrics().snapshot()
     settings = config.evaluation_settings()
     # Canonicalize up front: fails fast on unknown names (before forking
@@ -545,7 +610,40 @@ def _cmd_sweep(
         if config_values
         else DEFAULT_CONFIGS
     )
-    results = run_sweep(names, jobs=jobs, settings=settings, configs=configs)
+    previous_plan = os.environ.get(faults.FAULT_PLAN_ENV)
+    if fault_plan:
+        # Load eagerly: workers read the plan lazily at the first
+        # injection site, where a missing/invalid file would surface as
+        # an "error" failure on every task and quarantine the whole
+        # sweep instead of failing here, before any work starts.
+        faults.FaultPlan.load(fault_plan)
+        # Arm via the environment so forked workers inherit the plan.
+        os.environ[faults.FAULT_PLAN_ENV] = fault_plan
+        faults.reset()
+    executor = None
+    try:
+        if supervised:
+            from repro.evaluation.supervisor import SupervisedExecutor, SupervisorPolicy
+
+            policy = SupervisorPolicy(
+                task_deadline_s=task_deadline,
+                heartbeat_timeout_s=heartbeat_timeout,
+                max_task_retries=max_task_retries,
+                backoff_base_s=retry_backoff,
+            )
+            executor = SupervisedExecutor(
+                settings=settings, configs=configs, jobs=jobs, policy=policy,
+            )
+            results = executor.run(names)
+        else:
+            results = run_sweep(names, jobs=jobs, settings=settings, configs=configs)
+    finally:
+        if fault_plan:
+            if previous_plan is None:
+                os.environ.pop(faults.FAULT_PLAN_ENV, None)
+            else:
+                os.environ[faults.FAULT_PLAN_ENV] = previous_plan
+            faults.reset()
     # Both caches merge from inside the workers after every task, so the
     # files are complete for every --jobs count; this final call only
     # rewrites if an in-process engine somehow still holds unmerged
@@ -567,6 +665,29 @@ def _cmd_sweep(
     if metrics_out:
         _write_metrics(metrics_out, baseline, command="sweep", config=config,
                        jobs=jobs)
+    failures = executor.failures if executor is not None else []
+    if failures_out and executor is not None:
+        atomic_write_text(
+            failures_out,
+            json.dumps(executor.failure_report(), indent=2, sort_keys=True) + "\n",
+        )
+    if failures:
+        print(
+            f"repro-design: sweep completed with {len(failures)} quarantined "
+            "task(s); their points are missing from the results above",
+            file=sys.stderr,
+        )
+        for item in failures:
+            where = item.benchmark + "/" + item.config + (
+                f"#{item.arch_index}" if item.arch_index is not None else ""
+            )
+            reasons = ",".join(failure.reason for failure in item.failures)
+            print(
+                f"repro-design:   quarantined {item.task} task {where} "
+                f"after {item.attempts} attempts ({reasons})",
+                file=sys.stderr,
+            )
+        return 3
     return 0
 
 

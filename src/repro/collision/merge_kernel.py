@@ -61,6 +61,8 @@ from typing import Callable, Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import faults
+
 #: Finite stand-ins for the infinite tails of open-ended intervals
 #: (``|x| > c34`` and the far condition-6 band).  Candidate grids live
 #: within a fraction of a GHz of the 5.0-5.34 GHz band and every finite
@@ -81,6 +83,18 @@ _BACKENDS = ("python", "numpy", "native")
 _active_backend: Optional[str] = None
 _native_kernel: Optional[Callable] = None
 _native_failed = False
+
+
+def _count_fallback(name: str) -> None:
+    """Count a silent backend degradation in the metrics registry.
+
+    Lazy import: this module must stay importable with zero runtime-layer
+    dependencies (the property suite loads it standalone), and the
+    counters only matter on the cold degradation paths.
+    """
+    from repro.runtime.metrics import global_metrics
+
+    global_metrics().increment(name)
 
 
 class CandidateBins:
@@ -740,6 +754,7 @@ def _native_union_bounds(
     if _native_kernel is None:
         _native_kernel = _build_native()
         if _native_kernel is None:
+            _count_fallback("screening/native_fallbacks")
             return _numpy_union_bounds(lows, highs, slots, num_slots, bins, epsilon)
     rows, cols = lows.shape
     lows32 = np.ascontiguousarray(lows, dtype=np.float32)
@@ -758,6 +773,7 @@ def _native_union_bounds(
         upper.ctypes.data_as(ctypes.POINTER(ctypes.c_int64)),
     )
     if status != 0:  # allocation failure: degrade, never crash
+        _count_fallback("screening/native_fallbacks")
         return _numpy_union_bounds(lows, highs, slots, num_slots, bins, epsilon)
     return lower, upper
 
@@ -788,6 +804,7 @@ def _resolve_default() -> str:
     requested = os.environ.get(_ENV_VAR, "").strip().lower()
     if requested in _BACKENDS:
         if requested == "native" and "native" not in available_backends():
+            _count_fallback("screening/backend_fallbacks")
             warnings.warn(
                 f"{_ENV_VAR}=native requested but no C toolchain is available; "
                 "falling back to the numpy backend (results are identical)",
@@ -864,5 +881,8 @@ def fused_union_bounds(
     if lows.size == 0 or bins.num == 0:
         zero = np.zeros((num_slots, bins.num), dtype=np.int64)
         return zero, zero.copy()
+    # Chaos-test site for simulated kernel aborts (a plain None check
+    # when no fault plan is armed, so the hot path stays hot).
+    faults.maybe_inject("native-kernel")
     implementation = _IMPLEMENTATIONS[backend or active_backend()]
     return implementation(lows, highs, slots, num_slots, bins, epsilon)

@@ -33,6 +33,13 @@ from repro.evaluation.parallel import (
     save_worker_routing_cache,
     sweep_point_seed,
 )
+from repro.evaluation.supervisor import (
+    QuarantinedTask,
+    SupervisedExecutor,
+    SupervisorPolicy,
+    TaskFailure,
+    run_supervised_sweep,
+)
 from repro.evaluation.pareto import is_dominated, pareto_front
 from repro.evaluation.analysis import (
     HeadlineComparison,
@@ -61,6 +68,11 @@ __all__ = [
     "run_sweep",
     "save_worker_routing_cache",
     "sweep_point_seed",
+    "QuarantinedTask",
+    "SupervisedExecutor",
+    "SupervisorPolicy",
+    "TaskFailure",
+    "run_supervised_sweep",
     "pareto_front",
     "is_dominated",
     "HeadlineComparison",

@@ -40,7 +40,7 @@ import json
 from dataclasses import asdict
 from typing import Dict, List, Optional, Tuple
 
-from repro import persistence
+from repro import faults, persistence
 from repro.evaluation.configs import ExperimentConfig
 from repro.evaluation.experiment import DataPoint
 from repro.hardware.architecture import Architecture
@@ -206,16 +206,23 @@ def point_from_record(record: dict) -> DataPoint:
 class SweepCheckpoint:
     """Completed sweep tasks, persisted in a pluggable cache store.
 
-    One checkpoint store holds two record kinds under one envelope:
+    One checkpoint store holds three record kinds under one envelope:
     ``generation`` records (the architecture rows of one benchmark x
-    configuration task) and ``point`` records (one evaluated data
-    point).  Records are keyed by the content digests above; the
-    file-level identity is ``(kind, key)``.
+    configuration task), ``point`` records (one evaluated data point),
+    and ``failure`` records (a supervised sweep's quarantined tasks,
+    written so a partial run's gaps are explained in the store itself).
+    Records are keyed by the content digests above; the file-level
+    identity is ``(kind, key)``.
 
     Lookups are served from the snapshot taken by :meth:`load`;
     recordings go straight to the store via the backend's locked union
     merge, so any number of workers (or hosts, on a shared filesystem)
     can checkpoint one sweep concurrently.
+
+    ``failure`` records never satisfy a resume lookup: a quarantined
+    task *recomputes* on the next run (its fault may have been
+    environmental), and succeeds or is re-quarantined on its own
+    merits.  They exist for reporting and forensics.
     """
 
     FORMAT = "repro-sweep-checkpoint"
@@ -225,6 +232,7 @@ class SweepCheckpoint:
         self.path = str(path)
         self._generations: Dict[str, dict] = {}
         self._points: Dict[str, dict] = {}
+        self._failures: Dict[str, dict] = {}
 
     @staticmethod
     def _record_key(record: dict) -> Tuple:
@@ -235,18 +243,46 @@ class SweepCheckpoint:
     def load(self) -> int:
         """Snapshot the store's completed tasks for resume lookups.
 
-        Missing stores are simply cold.  Returns the number of records
-        loaded.
+        Missing stores are simply cold.  A *torn* single-file store —
+        half-written trailing record, the signature of a copy or append
+        interrupted mid-byte — is salvaged instead of crashing
+        ``--resume``: every intact record is kept, the damaged file is
+        quarantined (``<name>.quarantine-<pid>``), and the lost tail
+        simply recomputes.  A store holding a different cache kind's
+        data still fails loud (:class:`~repro.persistence.WrongFormatError`
+        means a typo'd path, not damage).  Returns the number of
+        records loaded.
         """
-        records = persistence.read_cache_entries(
-            self.path, self.FORMAT, self.VERSION, missing_ok=True,
-            kind="sweep checkpoint",
-        ) or []
+        try:
+            records = persistence.read_cache_entries(
+                self.path, self.FORMAT, self.VERSION, missing_ok=True,
+                kind="sweep checkpoint",
+            ) or []
+        except persistence.WrongFormatError:
+            raise
+        except ValueError as error:
+            salvaged = persistence.salvage_torn_store(
+                self.path, self.FORMAT, self.VERSION, kind="sweep checkpoint",
+            )
+            if salvaged is None:
+                raise error
+            records = salvaged
+            if records:
+                # Re-persist the intact records so the rebuilt store is
+                # whole again: without this, salvaged tasks would satisfy
+                # *this* resume but vanish from the store (resumed tasks
+                # are never re-recorded), costing a recompute next run.
+                persistence.union_merge_save(
+                    self.path, self.FORMAT, self.VERSION, records,
+                    self._record_key, kind="sweep checkpoint",
+                )
         for record in records:
             if record.get("kind") == "generation":
                 self._generations[record["key"]] = record
             elif record.get("kind") == "point":
                 self._points[record["key"]] = record
+            elif record.get("kind") == "failure":
+                self._failures[record["key"]] = record
         return len(records)
 
     @property
@@ -256,6 +292,17 @@ class SweepCheckpoint:
     @property
     def completed_points(self) -> int:
         return len(self._points)
+
+    @property
+    def recorded_failures(self) -> int:
+        return len(self._failures)
+
+    def failures(self) -> List[dict]:
+        """Quarantine records loaded from the store, ordered by key."""
+        return [
+            dict(self._failures[key]["failure"])
+            for key in sorted(self._failures)
+        ]
 
     # -- lookups (resume) -----------------------------------------------------
 
@@ -286,6 +333,7 @@ class SweepCheckpoint:
             ],
         }
         self._generations[key] = record
+        faults.maybe_inject("checkpoint:record", store_path=self.path)
         persistence.union_merge_save(
             self.path, self.FORMAT, self.VERSION, [record], self._record_key,
             kind="sweep checkpoint",
@@ -294,6 +342,22 @@ class SweepCheckpoint:
     def record_point(self, key: str, point: DataPoint) -> None:
         record = {"kind": "point", "key": key, "point": point_record(point)}
         self._points[key] = record
+        faults.maybe_inject("checkpoint:record", store_path=self.path)
+        persistence.union_merge_save(
+            self.path, self.FORMAT, self.VERSION, [record], self._record_key,
+            kind="sweep checkpoint",
+        )
+
+    def record_failure(self, failure: dict) -> None:
+        """Record a quarantined task's structured failure entry.
+
+        ``failure`` is the supervisor's report record (task kind,
+        content key, identity, and the per-attempt failure list); it is
+        stored verbatim under the ``failure`` kind so the checkpoint
+        explains the sweep's gaps.
+        """
+        record = {"kind": "failure", "key": failure["key"], "failure": failure}
+        self._failures[failure["key"]] = record
         persistence.union_merge_save(
             self.path, self.FORMAT, self.VERSION, [record], self._record_key,
             kind="sweep checkpoint",

@@ -36,6 +36,7 @@ import multiprocessing
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro import faults
 from repro.benchmarks.library import get_benchmark
 from repro.collision.yield_simulator import YieldSimulator
 from repro.design.engine import DesignEngine
@@ -224,6 +225,7 @@ def _generate_rows(
                 # Restored before the design engine even exists: a resumed
                 # generation task runs zero Algorithm 3 searches.
                 return recorded
+    faults.maybe_inject("generate:start")
     circuit = get_benchmark(benchmark)
     config = ExperimentConfig(config_value)
     engine = session.design_engine
@@ -279,6 +281,7 @@ def _evaluate_one(
                 # Restored before the routing engine even exists: a resumed
                 # point task routes nothing and runs no yield simulation.
                 return recorded
+    faults.maybe_inject("evaluate:start")
     circuit = get_benchmark(benchmark)
     profile = profile_circuit(circuit)
     simulator = YieldSimulator(
@@ -295,6 +298,10 @@ def _evaluate_one(
     # ``sweep --jobs N`` leaves a complete routing cache file without a
     # separate ``--jobs 1`` refresh pass.
     session.persist_routing()
+    # Site between compute and checkpoint record: a kill here proves a
+    # retry re-derives the identical point from its content-addressed
+    # seeds rather than depending on the lost record.
+    faults.maybe_inject("evaluate:computed")
     if checkpoint is not None:
         checkpoint.record_point(task_key, point)
     return point

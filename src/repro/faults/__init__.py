@@ -1,0 +1,46 @@
+"""Deterministic fault injection for supervised sweeps.
+
+Seeded, content-addressed fault schedules (:class:`FaultPlan`) fire
+worker crashes, hangs, native-kernel aborts, and store corruption at
+named injection sites, keyed by the same task digests the sweep
+checkpoint uses.  Armed only via ``REPRO_FAULT_PLAN``/``--fault-plan``;
+production paths pay a single ``None`` check.
+"""
+
+from repro.faults.inject import (
+    FaultInjected,
+    active,
+    arm,
+    current_context,
+    fault_boundary,
+    maybe_inject,
+    reset,
+    task_context,
+)
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FAULT_PLAN_ENV,
+    FaultPlan,
+    FaultSpec,
+    PLAN_FORMAT,
+    PLAN_VERSION,
+    write_plan,
+)
+
+__all__ = (
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultSpec",
+    "PLAN_FORMAT",
+    "PLAN_VERSION",
+    "active",
+    "arm",
+    "current_context",
+    "fault_boundary",
+    "maybe_inject",
+    "reset",
+    "task_context",
+    "write_plan",
+)

@@ -55,6 +55,7 @@ from repro.persistence.store import (
     migrate_store,
     open_store,
     parse_store_path,
+    salvage_torn_store,
     tuplify,
 )
 
@@ -76,6 +77,7 @@ __all__ = [
     "open_store",
     "parse_store_path",
     "read_cache_entries",
+    "salvage_torn_store",
     "tuplify",
     "union_merge_save",
     "write_cache_file",

@@ -75,6 +75,15 @@ class CacheStoreFault(UserWarning):
     """
 
 
+def _count_store_fault(name: str, amount: int = 1) -> None:
+    """Count a store fault in the metrics registry (lazy import: the
+    metrics module is runtime-layer and must stay importable without
+    dragging in persistence, and vice versa)."""
+    from repro.runtime.metrics import global_metrics
+
+    global_metrics().increment(name, amount)
+
+
 #: In-process merge locks, one per resolved cache path.  ``fcntl`` locks
 #: are per open file description, not per thread, so threads sharing a
 #: process need their own serialization layer.
@@ -323,8 +332,15 @@ class CacheStore:
     # -- shared helpers -------------------------------------------------------
 
     def _fault(self, message: str) -> None:
-        """Record a recovered persisted-state fault and warn about it."""
+        """Record a recovered persisted-state fault and warn about it.
+
+        Besides the stderr warning, every degrade-to-cold event is
+        counted in the metrics registry (``persistence/store_faults``)
+        so operators watching ``--metrics-out`` see silent degradation
+        without scraping warnings.
+        """
         self.faults.append(message)
+        _count_store_fault("persistence/store_faults")
         warnings.warn(message, CacheStoreFault, stacklevel=3)
 
     def _missing(self, missing_ok: bool, kind: str) -> None:
@@ -455,3 +471,78 @@ def migrate_store(
     return open_store(dest).replace(
         file_format, version, list(entries or []), key_of=key_of, kind=kind
     )
+
+
+def salvage_torn_store(
+    path: PathLike,
+    file_format: str,
+    version: int,
+    kind: Optional[str] = None,
+) -> Optional[List[dict]]:
+    """Recover the complete records of a torn single-file store.
+
+    :func:`atomic_write_text` makes a *writer* crash unable to tear a
+    store, but torn files still arrive sideways: interrupted copies,
+    full disks, byte-level fault injection, or a checkpoint copied off
+    a dying host mid-append.  The strict single-file backend refuses to
+    read such a file; this helper decodes every record that survives
+    intact in the entry-list prefix, moves the damaged original aside
+    as ``<name>.quarantine-<pid>`` (bytes preserved for forensics,
+    mirroring the sharded/SQLite quarantine discipline), and returns
+    the salvaged records.
+
+    Returns ``None`` when there is nothing to salvage from — no file,
+    or damage that precedes the entry list so even the envelope header
+    cannot be trusted; the caller then re-raises its original error or
+    treats the store as cold.
+    """
+    kind = kind or file_format
+    _, target = parse_store_path(path)
+    if not target.is_file():
+        return None
+    try:
+        text = target.read_text(encoding="utf-8", errors="replace")
+    except OSError:
+        return None
+    # The undamaged prefix must pin the expected envelope (format and
+    # version appear before "entries" in every file this layer writes);
+    # anything else is not a torn write of *this* store kind.
+    head, separator, body = text.partition('"entries"')
+    if not separator:
+        return None
+    if f'"format": {json.dumps(file_format)}' not in head:
+        return None
+    if f'"version": {version}' not in head:
+        return None
+    opening = body.find("[")
+    if opening < 0:
+        return None
+    decoder = json.JSONDecoder()
+    index = opening + 1
+    records: List[dict] = []
+    while index < len(body):
+        character = body[index]
+        if character in " \t\r\n,":
+            index += 1
+            continue
+        if character == "]":
+            break
+        try:
+            record, index = decoder.raw_decode(body, index)
+        except ValueError:
+            break  # the torn tail: drop the half-written record
+        if isinstance(record, dict):
+            records.append(record)
+        else:
+            return None  # entry list holds non-records; not our tear
+    quarantine = target.with_name(f"{target.name}.quarantine-{os.getpid()}")
+    os.replace(target, quarantine)
+    _count_store_fault("persistence/torn_stores")
+    _count_store_fault("persistence/salvaged_records", len(records))
+    warnings.warn(
+        f"{kind} store {target} was torn mid-write; salvaged "
+        f"{len(records)} complete records, quarantined the damaged file "
+        f"as {quarantine.name}, and will recompute the rest",
+        CacheStoreFault, stacklevel=2,
+    )
+    return records

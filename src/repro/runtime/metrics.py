@@ -226,6 +226,14 @@ def _derived_metrics(counters: Mapping[str, int]) -> Dict[str, float]:
     routes = counters.get("routing/routes", 0)
     if routes:
         derived["routing/swaps_per_route"] = counters.get("routing/swaps", 0) / routes
+    tasks = counters.get("supervisor/tasks", 0)
+    if tasks:
+        derived["supervisor/retries_per_task"] = (
+            counters.get("supervisor/retries", 0) / tasks
+        )
+        derived["supervisor/quarantine_fraction"] = (
+            counters.get("supervisor/quarantined_tasks", 0) / tasks
+        )
     return dict(sorted(derived.items()))
 
 

@@ -315,6 +315,20 @@ class Session:
         """Persist both engine caches; a dict of store entry counts."""
         return {"routing": self.persist_routing(), "design": self.persist_design()}
 
+    def record_task_failure(self, failure: Dict[str, object]) -> bool:
+        """Record a supervised sweep's quarantined task in the checkpoint.
+
+        ``failure`` is the supervisor's structured failure record (task
+        kind, content key, identity, per-attempt reasons).  Returns
+        False when this session has no checkpoint store to record into
+        — the supervisor then only reports the failure in memory.
+        """
+        checkpoint = self.checkpoint
+        if checkpoint is None:
+            return False
+        checkpoint.record_failure(dict(failure))
+        return True
+
     # -- observability ------------------------------------------------------
 
     def screening_stats(self) -> Dict[str, object]:

@@ -1,0 +1,128 @@
+"""Torn-checkpoint recovery and failure-record round trips.
+
+A single-file sweep checkpoint whose trailing record was half-written —
+the signature of a kill mid-append or an interrupted copy — must not
+crash ``--resume``: :meth:`SweepCheckpoint.load` salvages every intact
+record, quarantines the damaged file beside the store, and lets the lost
+tail recompute.  Recognizable *misconfiguration* (a different cache
+kind's store at the path) must keep failing loud, and pure garbage that
+never held checkpoint data stays a hard error too.
+"""
+
+import json
+
+import pytest
+
+from repro import persistence
+from repro.evaluation.checkpoint import SweepCheckpoint
+from repro.persistence import CacheStoreFault, WrongFormatError
+from repro.runtime.metrics import global_metrics
+
+
+def _failure(key, benchmark="sym6_145"):
+    return {
+        "task": "point", "key": key, "benchmark": benchmark,
+        "config": "eff-full", "arch_index": 2, "attempts": 3,
+        "failures": [
+            {"reason": "crash", "detail": "worker exited with code -9",
+             "attempt": 0, "backend": None},
+        ],
+    }
+
+
+def _seeded_checkpoint(path, keys=("k1", "k2", "k3")):
+    checkpoint = SweepCheckpoint(str(path))
+    for key in keys:
+        checkpoint.record_failure(_failure(key))
+    return checkpoint
+
+
+def test_failure_records_round_trip(tmp_path):
+    path = tmp_path / "ck.json"
+    _seeded_checkpoint(path)
+    reloaded = SweepCheckpoint(str(path))
+    assert reloaded.load() == 3
+    assert reloaded.recorded_failures == 3
+    assert [record["key"] for record in reloaded.failures()] == ["k1", "k2", "k3"]
+    assert reloaded.failures()[0] == _failure("k1")
+    # Failure records never satisfy resume lookups.
+    assert reloaded.completed_points == 0
+    assert reloaded.completed_generations == 0
+    assert reloaded.point("k1") is None
+    assert reloaded.generation_rows("k1") is None
+
+
+def test_torn_trailing_record_is_salvaged_and_quarantined(tmp_path):
+    path = tmp_path / "ck.json"
+    _seeded_checkpoint(path)
+    intact = path.read_bytes()
+    path.write_bytes(intact[:-40])  # tear the tail mid-record
+
+    before = global_metrics().snapshot()
+    reloaded = SweepCheckpoint(str(path))
+    with pytest.warns(CacheStoreFault, match="salvaged"):
+        count = reloaded.load()
+    assert 0 < count < 3  # the torn tail is lost, the intact head kept
+    assert count == reloaded.recorded_failures
+
+    # The damaged file moved aside, original bytes preserved for
+    # forensics; the intact records were re-persisted to a fresh store.
+    assert path.exists()
+    quarantine = list(tmp_path.glob("ck.json.quarantine-*"))
+    assert len(quarantine) == 1
+    assert quarantine[0].read_bytes() == intact[:-40]
+
+    delta_counters = global_metrics().snapshot()["counters"]
+    base_counters = before["counters"]
+    assert delta_counters.get("persistence/torn_stores", 0) == \
+        base_counters.get("persistence/torn_stores", 0) + 1
+    assert delta_counters.get("persistence/salvaged_records", 0) == \
+        base_counters.get("persistence/salvaged_records", 0) + count
+
+    # The store is whole again: the salvaged records survive a reload
+    # on their own, and new recordings merge alongside them.
+    assert SweepCheckpoint(str(path)).load() == count
+    reloaded.record_failure(_failure("k9"))
+    fresh = SweepCheckpoint(str(path))
+    assert fresh.load() == count + 1
+
+
+def test_wrong_cache_kind_still_fails_loud(tmp_path):
+    path = tmp_path / "ck.json"
+    path.write_text(json.dumps({
+        "format": "repro-routing-cache", "version": 1, "entries": [],
+    }), encoding="utf-8")
+    with pytest.raises(WrongFormatError):
+        SweepCheckpoint(str(path)).load()
+    assert path.exists()  # misconfiguration is never quarantined
+
+
+def test_unrecognizable_garbage_still_fails_loud(tmp_path):
+    path = tmp_path / "ck.json"
+    path.write_text("this was never a checkpoint", encoding="utf-8")
+    with pytest.raises(ValueError):
+        SweepCheckpoint(str(path)).load()
+    assert path.exists()
+
+
+def test_salvage_declines_foreign_header(tmp_path):
+    """salvage_torn_store only touches files that held *our* format."""
+    path = tmp_path / "ck.json"
+    path.write_text(
+        '{"format": "repro-other-cache", "version": 1, "entries": [{}',
+        encoding="utf-8",
+    )
+    assert persistence.salvage_torn_store(
+        path, SweepCheckpoint.FORMAT, SweepCheckpoint.VERSION,
+    ) is None
+    assert path.exists()
+
+
+def test_intact_checkpoint_loads_without_warnings(tmp_path):
+    import warnings
+
+    path = tmp_path / "ck.json"
+    _seeded_checkpoint(path)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", CacheStoreFault)
+        assert SweepCheckpoint(str(path)).load() == 3

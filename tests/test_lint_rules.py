@@ -139,8 +139,99 @@ def test_rule_quiet_on_sanctioned_idiom(rule_code, snippet):
     assert rule_code not in codes(snippet)
 
 
+# -- worker exception-discipline fixtures (REPRO-R5xx) -----------------------
+# These rules are path-scoped to the modules that run under the sweep
+# supervisor, so their fixtures lint under a worker-module path.
+
+WORKER_PATH = "src/repro/faults/fixture_under_test.py"
+
+WORKER_BAD_FIXTURES = [
+    (
+        "REPRO-R501",
+        "def run(fn):\n    try:\n        return fn()\n    except:\n        return None\n",
+    ),
+    (
+        "REPRO-R502",
+        "def run(fn):\n    try:\n        return fn()\n"
+        "    except Exception:\n        return None\n",
+    ),
+    (
+        "REPRO-R502",
+        "def run(fn):\n    try:\n        return fn()\n"
+        "    except BaseException:\n        return None\n",
+    ),
+    # A tuple that includes Exception is just as blanket.
+    (
+        "REPRO-R502",
+        "def run(fn):\n    try:\n        return fn()\n"
+        "    except (ValueError, Exception):\n        return None\n",
+    ),
+    # A raise inside a nested def does not re-raise the caught exception.
+    (
+        "REPRO-R502",
+        "def run(fn):\n    try:\n        return fn()\n"
+        "    except Exception:\n"
+        "        def later():\n            raise RuntimeError('deferred')\n"
+        "        return later\n",
+    ),
+]
+
+WORKER_GOOD_FIXTURES = [
+    ("REPRO-R501", "def run(fn):\n    try:\n        return fn()\n    except OSError:\n        return None\n"),
+    # Specific exception tuples are the sanctioned non-boundary idiom.
+    (
+        "REPRO-R502",
+        "def run(fn):\n    try:\n        return fn()\n"
+        "    except (BrokenPipeError, OSError):\n        return None\n",
+    ),
+    # Re-raising keeps the failure visible to the supervisor.
+    (
+        "REPRO-R502",
+        "def run(fn):\n    try:\n        return fn()\n"
+        "    except Exception:\n        raise\n",
+    ),
+    (
+        "REPRO-R502",
+        "def run(fn):\n    try:\n        return fn()\n"
+        "    except Exception as error:\n        raise RuntimeError('wrapped') from error\n",
+    ),
+    # The sanctioned fault boundary: marked, and the error is reported.
+    (
+        "REPRO-R502",
+        "from repro import faults\n\n"
+        "@faults.fault_boundary\n"
+        "def run_attempt(fn):\n    try:\n        return 'done', fn()\n"
+        "    except Exception as error:\n        return 'error', str(error)\n",
+    ),
+    (
+        "REPRO-R502",
+        "from repro.faults import fault_boundary\n\n"
+        "@fault_boundary\n"
+        "def run_attempt(fn):\n    try:\n        return 'done', fn()\n"
+        "    except Exception as error:\n        return 'error', str(error)\n",
+    ),
+]
+
+
+@pytest.mark.parametrize("rule_code,snippet", WORKER_BAD_FIXTURES)
+def test_worker_rule_fires_on_violation(rule_code, snippet):
+    assert rule_code in codes(snippet, path=WORKER_PATH)
+
+
+@pytest.mark.parametrize("rule_code,snippet", WORKER_BAD_FIXTURES)
+def test_worker_rules_stay_out_of_non_worker_modules(rule_code, snippet):
+    assert rule_code not in codes(snippet)
+
+
+@pytest.mark.parametrize("rule_code,snippet", WORKER_GOOD_FIXTURES)
+def test_worker_rule_quiet_on_sanctioned_idiom(rule_code, snippet):
+    assert rule_code not in codes(snippet, path=WORKER_PATH)
+
+
 def test_every_ast_rule_has_a_bad_fixture():
-    assert {code for code, _ in BAD_FIXTURES} == ALL_RULE_CODES
+    covered = {code for code, _ in BAD_FIXTURES}
+    covered |= {code for code, _ in WORKER_BAD_FIXTURES}
+    assert covered == ALL_RULE_CODES
 
 
 # -- path-prefix exemptions --------------------------------------------------
@@ -269,6 +360,22 @@ MUTATIONS = {
         "src/repro/evaluation/parallel.py",
         "\n\ndef _planted_lint_probe(registry):\n"
         "    registry._counters['probe'] = 1\n",
+    ),
+    "REPRO-R501": (
+        "src/repro/evaluation/parallel.py",
+        "\n\ndef _planted_lint_probe(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except:\n"
+        "        return None\n",
+    ),
+    "REPRO-R502": (
+        "src/repro/evaluation/supervisor.py",
+        "\n\ndef _planted_lint_probe(fn):\n"
+        "    try:\n"
+        "        return fn()\n"
+        "    except Exception:\n"
+        "        return None\n",
     ),
 }
 
